@@ -1,0 +1,202 @@
+// Command hyalinebench regenerates the tables and figures of the paper
+// "Hyaline: Fast and Transparent Lock-Free Memory Reclamation"
+// (Nikolaev & Ravindran, PODC 2019) on the Go reproduction.
+//
+// Usage:
+//
+//	hyalinebench -list                      # show every figure id
+//	hyalinebench -table1                    # print Table 1 (properties)
+//	hyalinebench -figure 8c                 # run one figure, CSV to stdout
+//	hyalinebench -figure all -duration 2s   # run everything (slow)
+//	hyalinebench -structure hashmap -scheme hyaline -threads 8   # one point
+//
+// Absolute numbers depend on the machine; the paper's claims are about
+// shapes (scheme ordering, the oversubscription crossover, robustness
+// cliffs), which the CSV series reproduce. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/bench"
+	"hyaline/internal/trackers"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hyalinebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hyalinebench", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list all reproducible figures and exit")
+		table1   = fs.Bool("table1", false, "print the paper's Table 1 (qualitative comparison)")
+		figure   = fs.String("figure", "", "figure id to regenerate (e.g. 8c, 10a; 'all' for everything)")
+		duration = fs.Duration("duration", time.Second, "measurement window per data point (paper: 10s)")
+		threads  = fs.Int("threads", runtime.GOMAXPROCS(0), "worker count for single runs / active threads for -figure 10a")
+		stalled  = fs.Int("stalled", 0, "stalled-thread count for single runs")
+
+		structure = fs.String("structure", "", "single run: data structure (list|hashmap|bonsai|natarajan)")
+		scheme    = fs.String("scheme", "", "single run: reclamation scheme")
+		workload  = fs.String("workload", "write", "workload mix: write (50i/50d) or read (90g/10p)")
+		trim      = fs.Bool("trim", false, "single run: use Hyaline trim (§3.3)")
+		slots     = fs.Int("slots", 0, "Hyaline slot cap k (0 = next pow2 of cores)")
+		prefill   = fs.Int("prefill", 50_000, "prefill element count")
+		keyrange  = fs.Uint64("keyrange", 100_000, "key universe size")
+		arenaCap  = fs.Int("arenacap", 1<<25, "node pool capacity (virtual until touched)")
+		sweepCSV  = fs.String("sweep", "", "comma-separated thread counts overriding the default sweep")
+		ascii     = fs.Bool("ascii", false, "render figures as terminal bar charts instead of CSV")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *list:
+		return printList()
+	case *table1:
+		return printTable1()
+	case *figure != "":
+		return runFigures(*figure, *duration, *threads, *prefill, *keyrange, *sweepCSV, *ascii)
+	case *structure != "" && *scheme != "":
+		return runSingle(singleConfig{
+			structure: *structure, scheme: *scheme, threads: *threads,
+			stalled: *stalled, duration: *duration, workload: *workload,
+			trim: *trim, slots: *slots, prefill: *prefill,
+			keyrange: *keyrange, arenaCap: *arenaCap,
+		})
+	default:
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -list, -table1, -figure or -structure/-scheme")
+	}
+}
+
+func printList() error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ID\tSTRUCTURE\tMETRIC\tSWEEP\tCAPTION")
+	for _, f := range bench.AllFigures() {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", f.ID, f.Structure, f.Metric, f.Sweep, f.Caption)
+	}
+	return w.Flush()
+}
+
+func printTable1() error {
+	a := arena.New(64)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Scheme\tBased on\tPerformance\tRobust\tTransparent\tReclam.\tUsage/API")
+	for _, name := range []string{
+		"leaky", "hp", "epoch", "he", "ibr",
+		"hyaline", "hyaline-1", "hyaline-s", "hyaline-1s",
+	} {
+		tr, err := trackers.New(name, a, trackers.Config{MaxThreads: 1})
+		if err != nil {
+			return err
+		}
+		p := tr.Properties()
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			p.Scheme, p.BasedOn, p.Performance, p.Robust, p.Transparent, p.Reclamation, p.API)
+	}
+	return w.Flush()
+}
+
+func parseSweep(csv string) ([]int, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	var xs []int
+	for _, part := range strings.Split(csv, ",") {
+		var x int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &x); err != nil {
+			return nil, fmt.Errorf("bad sweep element %q", part)
+		}
+		xs = append(xs, x)
+	}
+	return xs, nil
+}
+
+func runFigures(id string, duration time.Duration, active, prefill int, keyrange uint64, sweepCSV string, ascii bool) error {
+	xs, err := parseSweep(sweepCSV)
+	if err != nil {
+		return err
+	}
+	var figs []bench.Figure
+	if id == "all" {
+		figs = bench.AllFigures()
+	} else {
+		for _, one := range strings.Split(id, ",") {
+			f, err := bench.FigureByID(strings.TrimSpace(one))
+			if err != nil {
+				return err
+			}
+			figs = append(figs, f)
+		}
+	}
+	for _, f := range figs {
+		tab, err := f.Run(bench.RunOptions{
+			Duration:      duration,
+			ActiveThreads: active,
+			Prefill:       prefill,
+			KeyRange:      keyrange,
+			Xs:            xs,
+			Progress: func(line string) {
+				fmt.Fprintln(os.Stderr, line)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if ascii {
+			fmt.Print(tab.ASCII())
+		} else {
+			fmt.Print(tab.CSV())
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+type singleConfig struct {
+	structure, scheme, workload string
+	threads, stalled, slots     int
+	prefill, arenaCap           int
+	keyrange                    uint64
+	duration                    time.Duration
+	trim                        bool
+}
+
+func runSingle(c singleConfig) error {
+	wl := bench.WriteHeavy
+	if strings.HasPrefix(c.workload, "read") {
+		wl = bench.ReadMostly
+	}
+	res, err := bench.Run(bench.Config{
+		Structure: c.structure,
+		Scheme:    c.scheme,
+		Threads:   c.threads,
+		Stalled:   c.stalled,
+		Duration:  c.duration,
+		Workload:  wl,
+		Trim:      c.trim,
+		Prefill:   c.prefill,
+		KeyRange:  c.keyrange,
+		ArenaCap:  c.arenaCap,
+		Tracker:   trackers.Config{Slots: c.slots},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	fmt.Printf("  ops=%d max-unreclaimed=%d stats=%+v\n",
+		res.Ops, res.MaxUnreclaimed, res.FinalStats)
+	return nil
+}

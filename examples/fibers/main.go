@@ -1,0 +1,89 @@
+// Fibers: the paper's transparency claim in action (§2.4, §3).
+//
+// A server spawns thousands of short-lived "fibers" (goroutines standing
+// in for per-client threads). Each fiber borrows a thread-id token, runs
+// a handful of operations against a shared map, and dies. With Hyaline
+// there is no per-thread registration or blocking unregistration: the
+// scheme keeps a small fixed number of slots, a fiber is off the hook as
+// soon as it leaves its last operation, and whichever later fiber holds
+// the last reference frees the dead fiber's retired nodes.
+//
+// Contrast with HP/HE/EBR-style schemes (Table 1), whose per-thread
+// limbo lists and reservations make thread death a blocking handshake.
+//
+//	go run ./examples/fibers
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"hyaline"
+)
+
+func main() {
+	const (
+		tokens      = 16     // concurrent fibers (and tid tokens)
+		fiberCount  = 10_000 // fibers born and destroyed over the run
+		opsPerFiber = 500
+	)
+
+	a := hyaline.NewArena(1 << 20)
+	// Hyaline needs only k slots regardless of how many fibers come and
+	// go; tids index per-fiber retire batches, recycled via the pool.
+	tr, err := hyaline.New("hyaline", a, hyaline.Options{MaxThreads: tokens, Slots: 8})
+	if err != nil {
+		panic(err)
+	}
+	m, err := hyaline.NewMap("hashmap", a, tr, tokens)
+	if err != nil {
+		panic(err)
+	}
+
+	// tid token pool: a dying fiber hands its token (and nothing else —
+	// no reclamation handshake) to the next fiber.
+	tidPool := make(chan int, tokens)
+	for i := 0; i < tokens; i++ {
+		tidPool <- i
+	}
+
+	var wg sync.WaitGroup
+	born := 0
+	for born < fiberCount {
+		tid := <-tidPool // at most `tokens` fibers alive at once
+		born++
+		wg.Add(1)
+		go func(fiber, tid int) {
+			defer wg.Done()
+			defer func() { tidPool <- tid }()
+			rng := rand.New(rand.NewSource(int64(fiber)))
+			for i := 0; i < opsPerFiber; i++ {
+				key := uint64(rng.Intn(5_000))
+				tr.Enter(tid)
+				if rng.Intn(2) == 0 {
+					m.Insert(tid, key, key+1)
+				} else {
+					m.Delete(tid, key)
+				}
+				tr.Leave(tid)
+			}
+			// The fiber dies here. It does NOT wait for its retired
+			// nodes: they are already on the shared retirement lists,
+			// owned collectively by whoever is still running.
+		}(born, tid)
+	}
+	wg.Wait()
+
+	for tid := 0; tid < tokens; tid++ {
+		if fl, ok := tr.(hyaline.Flusher); ok {
+			fl.Flush(tid)
+		}
+	}
+	st := tr.Stats()
+	fmt.Printf("fibers run:        %d (over %d tid tokens, 8 slots)\n", fiberCount, tokens)
+	fmt.Printf("nodes retired:     %d\n", st.Retired)
+	fmt.Printf("awaiting reclaim:  %d  <- bounded, despite %d thread deaths\n",
+		st.Unreclaimed(), fiberCount)
+	fmt.Printf("map entries:       %d\n", m.Len())
+}

@@ -1,0 +1,75 @@
+// Quickstart: a shared lock-free hash map under Hyaline reclamation.
+//
+// Eight workers hammer one map with inserts, deletes and lookups. Every
+// operation is bracketed by Enter/Leave; deleted nodes are retired by
+// the data structure and freed by whichever thread drops the last
+// reference — the calling thread is "off the hook" the moment it leaves.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"hyaline"
+)
+
+func main() {
+	const (
+		workers = 8
+		opsEach = 200_000
+	)
+
+	a := hyaline.NewArena(1 << 20)
+	tr, err := hyaline.New("hyaline", a, hyaline.Options{MaxThreads: workers})
+	if err != nil {
+		panic(err)
+	}
+	m, err := hyaline.NewMap("hashmap", a, tr, workers)
+	if err != nil {
+		panic(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tid)))
+			for i := 0; i < opsEach; i++ {
+				key := uint64(rng.Intn(10_000))
+				tr.Enter(tid)
+				switch rng.Intn(3) {
+				case 0:
+					m.Insert(tid, key, key*2)
+				case 1:
+					m.Delete(tid, key)
+				default:
+					if v, ok := m.Get(tid, key); ok && v != key*2 {
+						panic("corrupted read — reclamation failed")
+					}
+				}
+				tr.Leave(tid)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Drain the per-thread retire batches so the final accounting is
+	// exact (a long-running service would simply keep operating).
+	if fl, ok := tr.(hyaline.Flusher); ok {
+		for tid := 0; tid < workers; tid++ {
+			fl.Flush(tid)
+		}
+	}
+
+	st := tr.Stats()
+	fmt.Printf("entries in map:     %d\n", m.Len())
+	fmt.Printf("nodes allocated:    %d\n", st.Allocated)
+	fmt.Printf("nodes retired:      %d\n", st.Retired)
+	fmt.Printf("nodes freed:        %d\n", st.Freed)
+	fmt.Printf("awaiting reclaim:   %d\n", st.Unreclaimed())
+	fmt.Printf("arena live nodes:   %d (map entries + awaiting)\n", a.Live())
+}

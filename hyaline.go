@@ -1,0 +1,96 @@
+// Package hyaline is a Go reproduction of "Hyaline: Fast and Transparent
+// Lock-Free Memory Reclamation" (Nikolaev & Ravindran, PODC 2019,
+// arXiv:1905.07903): the four Hyaline safe-memory-reclamation variants,
+// every baseline scheme the paper evaluates against (epoch-based
+// reclamation, hazard pointers, hazard eras, interval-based reclamation,
+// and a leaky no-op), the four lock-free data structures of its
+// evaluation, and a benchmark harness that regenerates each of the
+// paper's tables and figures.
+//
+// Go's garbage collector would make "reclamation" a no-op, so the
+// package manages a simulated unmanaged heap (Arena): nodes are
+// addressed by packed 48-bit indices, freed nodes are recycled for
+// unrelated allocations, and unsafe reclamation manifests as real
+// use-after-free corruption that the test suite detects via poisoning
+// and incarnation stamps.
+//
+// # Quick start
+//
+//	a := hyaline.NewArena(1 << 20)
+//	tr, err := hyaline.New("hyaline", a, hyaline.Options{MaxThreads: 8})
+//	if err != nil { ... }
+//	m, err := hyaline.NewMap("hashmap", a, tr, 8)
+//	if err != nil { ... }
+//
+//	// Worker with thread id tid ∈ [0, 8):
+//	tr.Enter(tid)
+//	m.Insert(tid, key, value)
+//	tr.Leave(tid) // off the hook: nothing left to check (§2.4)
+//
+// Scheme names follow the paper's figures: "hyaline", "hyaline-1",
+// "hyaline-s", "hyaline-1s", "epoch", "hp", "he", "ibr", "leaky".
+// Structure names: "list", "hashmap", "bonsai", "natarajan".
+package hyaline
+
+import (
+	"hyaline/internal/arena"
+	"hyaline/internal/bench"
+	"hyaline/internal/ds"
+	"hyaline/internal/smr"
+	"hyaline/internal/trackers"
+)
+
+type (
+	// Tracker is a safe memory reclamation scheme (see smr.Tracker).
+	Tracker = smr.Tracker
+	// Trimmer is a Tracker supporting the §3.3 trim operation.
+	Trimmer = smr.Trimmer
+	// Flusher is a Tracker that can drain pending reclamation.
+	Flusher = smr.Flusher
+	// Stats are cumulative reclamation counters.
+	Stats = smr.Stats
+	// Properties is a scheme's qualitative Table 1 row.
+	Properties = smr.Properties
+	// Arena is the simulated unmanaged heap all schemes manage.
+	Arena = arena.Arena
+	// Node is one block of the arena.
+	Node = arena.Node
+	// Map is the common interface of the four benchmark structures.
+	Map = ds.Map
+	// Options carries per-scheme tuning; zero values pick defaults.
+	Options = trackers.Config
+
+	// BenchConfig configures one benchmark run (cmd/hyalinebench flags
+	// mirror it).
+	BenchConfig = bench.Config
+	// BenchResult is one measured data point.
+	BenchResult = bench.Result
+)
+
+// NewArena allocates a node pool with the given capacity. Capacity is
+// virtual until touched, so oversized pools are cheap.
+func NewArena(capacity int) *Arena { return arena.New(capacity) }
+
+// New constructs the named reclamation scheme over a.
+func New(scheme string, a *Arena, opts Options) (Tracker, error) {
+	return trackers.New(scheme, a, opts)
+}
+
+// NewMap constructs the named lock-free structure over a and tr for up
+// to maxThreads concurrent threads.
+func NewMap(structure string, a *Arena, tr Tracker, maxThreads int) (Map, error) {
+	return ds.New(structure, a, tr, maxThreads)
+}
+
+// Schemes lists every reclamation scheme, in the paper's terminology.
+func Schemes() []string { return trackers.Names() }
+
+// Structures lists the benchmark data structures.
+func Structures() []string { return ds.Names() }
+
+// Supports reports whether structure runs under scheme (the Bonsai tree
+// excludes HP and HE, as in the paper).
+func Supports(structure, scheme string) bool { return ds.Supports(structure, scheme) }
+
+// Bench runs one benchmark configuration through the paper's harness.
+func Bench(cfg BenchConfig) (BenchResult, error) { return bench.Run(cfg) }

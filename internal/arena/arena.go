@@ -1,0 +1,299 @@
+// Package arena implements the simulated unmanaged heap that every
+// reclamation scheme in this repository manages.
+//
+// The Hyaline paper targets C/C++, where retired nodes must eventually be
+// handed back to malloc and a premature free lets another thread recycle
+// the memory while stale pointers still exist. Go's garbage collector
+// would silently paper over all of those bugs, so this package brings the
+// danger back: nodes live in a fixed pool, Free pushes them onto a shared
+// free list, and Alloc recycles them for unrelated operations. A scheme
+// that frees too early produces real use-after-free effects (poisoned
+// reads, sequence-stamp mismatches) that the test suite detects.
+//
+// Nodes are addressed by ptr.Index and referenced through packed ptr.Word
+// values, preserving the ABA behaviour of raw pointers. The free list is
+// sharded by thread ID (with stealing) so that allocator contention does
+// not drown out the reclamation costs the benchmarks measure — the role
+// jemalloc plays in the paper's testbed.
+package arena
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hyaline/internal/ptr"
+)
+
+// Poison is written over the payload of freed nodes so that readers of
+// prematurely reclaimed memory observe an obviously invalid value.
+const Poison = 0xDEAD_BEEF_DEAD_BEEF
+
+// Node is one block of the simulated heap. The first three fields are the
+// reclamation header; the paper (§2.4) budgets exactly three CPU words for
+// Hyaline's header, and this layout mirrors it:
+//
+//	Next      — per-slot retirement-list link (shared: free-list link,
+//	            EBR/HP/HE/IBR limbo-list link)
+//	BatchLink — for ordinary batch nodes, reference to the REFS node;
+//	            for the REFS node, reference to the first node of the
+//	            batch (used by free_batch)
+//	Refs      — REFS node: the batch reference counter NRef;
+//	            other nodes: the birth era (Hyaline-S/HE/IBR), which the
+//	            paper notes need not survive retirement
+//
+// The remaining fields are the data-structure payload, wide enough for all
+// four benchmark structures (the list's next pointer lives in Left).
+type Node struct {
+	Next      atomic.Uint64 // ptr.Word or scheme-specific link
+	BatchLink atomic.Uint64 // ptr.Word
+	Refs      atomic.Uint64 // NRef / birth era
+
+	// Key is atomic not for ordering but for definedness: lock-free
+	// traversals may validly race a concurrent Free's poisoning (e.g.
+	// the Natarajan & Mittal seek under hazard pointers, a protocol
+	// looseness shared with the paper's evaluation framework), and such
+	// reads must return garbage, not undefined behaviour.
+	Key   atomic.Uint64
+	Val   atomic.Uint64
+	Left  atomic.Uint64 // ptr.Word: list next, tree left child
+	Right atomic.Uint64 // ptr.Word: tree right child
+	Aux   atomic.Uint64 // tree size (Bonsai), retire era (HE/IBR)
+
+	// Seq is the node's incarnation stamp: even while allocated, odd
+	// while free, bumped on every recycle and Free (never-allocated nodes
+	// are live at Seq 0, so the bump-frontier allocation path stays
+	// store-free). It gives tests recycle detection, and the arena panics
+	// on double-free and on corruption of the live/free discipline.
+	Seq atomic.Uint64
+
+	_ [7]uint64 // pad to 128 B (two cache lines, Intel prefetcher pair)
+}
+
+// shards is the number of free-list shards. Power of two.
+const shards = 64
+
+type paddedHead struct {
+	head atomic.Uint64
+	_    [7]uint64
+}
+
+type paddedCounter struct {
+	allocated atomic.Int64
+	freed     atomic.Int64
+	_         [6]uint64
+}
+
+// Arena is a fixed-capacity pool of nodes with sharded lock-free free
+// lists. The zero value is not usable; call New.
+//
+// Fresh nodes come from a bump frontier, so New never touches the backing
+// pages: a deliberately oversized arena (used for the Leaky baseline,
+// which never frees) costs only virtual address space until nodes are
+// actually allocated.
+type Arena struct {
+	nodes []Node
+
+	// frontier is the next never-allocated index.
+	frontier atomic.Int64
+
+	// Each shard head packs a 32-bit ABA tag with a 32-bit (index+1) so
+	// that Treiber-stack pops cannot be fooled by recycling.
+	free [shards]paddedHead
+
+	// counters are sharded by tid: a single global pair would be the
+	// hottest cache line in every benchmark.
+	counters [shards]paddedCounter
+
+	capacity int
+	noPoison bool
+}
+
+// DisablePoison turns off payload poisoning in Free. The incarnation
+// stamp and double-free detection stay on. Benchmarks disable poisoning
+// so that Free costs what a C free() costs; the test suites keep it.
+func (a *Arena) DisablePoison() { a.noPoison = true }
+
+// New creates an arena with capacity nodes, all initially free. The
+// backing slice is rounded up to a power of two (virtual memory only)
+// so Deref can wrap wild words instead of crashing.
+func New(capacity int) *Arena {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("arena: non-positive capacity %d", capacity))
+	}
+	if capacity >= 1<<31 {
+		panic(fmt.Sprintf("arena: capacity %d exceeds index space", capacity))
+	}
+	backing := 1
+	for backing < capacity {
+		backing <<= 1
+	}
+	return &Arena{
+		nodes:    make([]Node, backing),
+		capacity: capacity,
+	}
+}
+
+// Cap returns the arena capacity in nodes.
+func (a *Arena) Cap() int { return a.capacity }
+
+// Node returns the node with index i, which must be a valid allocation.
+func (a *Arena) Node(i ptr.Index) *Node { return &a.nodes[i] }
+
+// Deref returns the node referenced by w, which must not be nil.
+//
+// The index is wrapped into the pool rather than bounds-checked: a
+// traversal that races a free (legal under the hazard-pointer usage of
+// the Natarajan & Mittal seek, as in the paper's evaluation framework)
+// may read a poisoned link and chase it. In C that is a garbage read
+// that the algorithm's validation then rejects; wrapping reproduces
+// that behaviour instead of crashing the simulation.
+func (a *Arena) Deref(w ptr.Word) *Node {
+	return &a.nodes[ptr.Idx(w)&uint32(len(a.nodes)-1)]
+}
+
+const (
+	headIdxMask = (1 << 32) - 1
+	headTagIncr = 1 << 32
+)
+
+// tryPop pops one node from shard s.
+func (a *Arena) tryPop(s int) (ptr.Index, bool) {
+	for {
+		head := a.free[s].head.Load()
+		hi := head & headIdxMask
+		if hi == 0 {
+			return 0, false
+		}
+		idx := ptr.Index(hi - 1)
+		next := a.nodes[idx].Next.Load() & headIdxMask
+		newHead := ((head &^ headIdxMask) + headTagIncr) | next
+		if a.free[s].head.CompareAndSwap(head, newHead) {
+			return idx, true
+		}
+	}
+}
+
+// TryAlloc pops a free node, preferring the shard of tid, then stealing
+// from the other shards, then bumping the fresh-node frontier. It returns
+// false only when the whole pool is exhausted.
+//
+// Like malloc, TryAlloc leaves the node's contents unspecified (fresh
+// nodes are zero, recycled ones carry stale or poisoned data): callers
+// must initialize every field they later read before publishing the
+// node. Zeroing here would cost eight sequentially-consistent stores on
+// the hottest path of every benchmark.
+func (a *Arena) TryAlloc(tid int) (ptr.Index, bool) {
+	home := tid & (shards - 1)
+	if idx, ok := a.tryPop(home); ok {
+		a.scrub(idx)
+		a.counters[home].allocated.Add(1)
+		return idx, true
+	}
+	// Home shard empty: take a never-used node with a single fetch-add
+	// (a CAS loop here melts under allocation-heavy schemes like Leaky).
+	// Fresh nodes are already zero — live at Seq 0 — so this path does
+	// not write the node at all. The frontier may overshoot capacity; it
+	// never comes back down, which only wastes the few indices claimed
+	// by racing losers.
+	if f := a.frontier.Add(1) - 1; f < int64(a.capacity) {
+		a.counters[home].allocated.Add(1)
+		return ptr.Index(f), true
+	}
+	// Frontier exhausted: steal from the other shards.
+	for off := 1; off < shards; off++ {
+		if idx, ok := a.tryPop((home + off) & (shards - 1)); ok {
+			a.scrub(idx)
+			a.counters[home].allocated.Add(1)
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// scrub marks a recycled node live, enforcing the free/live discipline.
+func (a *Arena) scrub(idx ptr.Index) {
+	if seq := a.nodes[idx].Seq.Add(1); seq&1 != 0 {
+		panic("arena: allocated a node that was not free (free-list corruption)")
+	}
+}
+
+// Alloc pops a free node and panics if the pool is exhausted. Benchmarks
+// size the pool so that exhaustion indicates a leak or runaway limbo list.
+func (a *Arena) Alloc(tid int) ptr.Index {
+	idx, ok := a.TryAlloc(tid)
+	if !ok {
+		panic("arena: out of nodes (reclamation too slow or leaking)")
+	}
+	return idx
+}
+
+// Free returns node idx to tid's shard. The payload is poisoned and the
+// incarnation stamp bumped so stale readers can be caught. Freeing a node
+// that is already free panics — Hyaline's reference-count arithmetic is
+// validated against exactly this check.
+func (a *Arena) Free(tid int, idx ptr.Index) {
+	n := &a.nodes[idx]
+	if seq := n.Seq.Add(1); seq&1 == 0 {
+		panic("arena: double free")
+	}
+	if !a.noPoison {
+		n.Key.Store(Poison)
+		n.Val.Store(Poison)
+		n.Left.Store(Poison)
+		n.Right.Store(Poison)
+		n.Aux.Store(Poison)
+		n.BatchLink.Store(Poison)
+		n.Refs.Store(Poison)
+	}
+	s := tid & (shards - 1)
+	for {
+		head := a.free[s].head.Load()
+		n.Next.Store(head & headIdxMask)
+		newHead := ((head &^ headIdxMask) + headTagIncr) | (uint64(idx) + 1)
+		if a.free[s].head.CompareAndSwap(head, newHead) {
+			a.counters[s].freed.Add(1)
+			return
+		}
+	}
+}
+
+// Reset returns the arena to its freshly constructed state, zeroing only
+// the region the bump frontier ever touched. It must not race with any
+// concurrent use; the benchmark harness calls it between runs so that
+// multi-gigabyte arenas are recycled without re-zeroing untouched pages.
+func (a *Arena) Reset() {
+	f := a.frontier.Load()
+	if f > int64(a.capacity) {
+		f = int64(a.capacity) // the frontier may overshoot (see TryAlloc)
+	}
+	clear(a.nodes[:f])
+	a.frontier.Store(0)
+	for s := range a.free {
+		a.free[s].head.Store(0)
+		a.counters[s].allocated.Store(0)
+		a.counters[s].freed.Store(0)
+	}
+}
+
+// Stats reports lifetime allocation counters.
+type Stats struct {
+	Allocated int64 // total successful Allocs
+	Freed     int64 // total Frees
+}
+
+// Stats returns a snapshot of the arena counters. Live = Allocated-Freed.
+func (a *Arena) Stats() Stats {
+	var s Stats
+	for i := range a.counters {
+		s.Allocated += a.counters[i].allocated.Load()
+		s.Freed += a.counters[i].freed.Load()
+	}
+	return s
+}
+
+// Live returns the number of nodes currently allocated (not on the free
+// list). It is approximate under concurrency.
+func (a *Arena) Live() int64 {
+	s := a.Stats()
+	return s.Allocated - s.Freed
+}

@@ -1,0 +1,241 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hyaline/internal/ptr"
+)
+
+func TestAllocAll(t *testing.T) {
+	const n = 1000
+	a := New(n)
+	seen := make(map[ptr.Index]bool, n)
+	for i := 0; i < n; i++ {
+		idx, ok := a.TryAlloc(0)
+		if !ok {
+			t.Fatalf("pool exhausted after %d allocs, want %d", i, n)
+		}
+		if seen[idx] {
+			t.Fatalf("index %d allocated twice", idx)
+		}
+		seen[idx] = true
+	}
+	if _, ok := a.TryAlloc(0); ok {
+		t.Fatal("alloc succeeded on exhausted pool")
+	}
+	if got := a.Live(); got != n {
+		t.Fatalf("Live = %d, want %d", got, n)
+	}
+}
+
+func TestFreeRecycles(t *testing.T) {
+	a := New(1)
+	idx := a.Alloc(0)
+	a.Free(0, idx)
+	idx2, ok := a.TryAlloc(0)
+	if !ok || idx2 != idx {
+		t.Fatalf("expected the single node to be recycled, got %v %v", idx2, ok)
+	}
+}
+
+func TestSeqDiscipline(t *testing.T) {
+	// Allocation contents are caller-initialized (malloc semantics), but
+	// the incarnation stamp must track live/free exactly: even = live,
+	// odd = free, +1 per transition.
+	a := New(2)
+	idx := a.Alloc(0)
+	n := a.Node(idx)
+	if n.Seq.Load()&1 != 0 {
+		t.Fatal("fresh node must be live (even stamp)")
+	}
+	s0 := n.Seq.Load()
+	a.Free(0, idx)
+	if got := n.Seq.Load(); got != s0+1 || got&1 != 1 {
+		t.Fatalf("after free: stamp %d, want odd %d", got, s0+1)
+	}
+	idx2 := a.Alloc(0)
+	if idx2 != idx {
+		t.Fatalf("expected recycle of node %d, got %d", idx, idx2)
+	}
+	if got := n.Seq.Load(); got != s0+2 || got&1 != 0 {
+		t.Fatalf("after realloc: stamp %d, want even %d", got, s0+2)
+	}
+}
+
+func TestPoisonOnFree(t *testing.T) {
+	a := New(4)
+	idx := a.Alloc(0)
+	n := a.Node(idx)
+	n.Key.Store(1234)
+	seq := n.Seq.Load()
+	a.Free(0, idx)
+	if n.Key.Load() != Poison || n.Val.Load() != Poison {
+		t.Fatal("freed node must be poisoned")
+	}
+	if n.Seq.Load() != seq+1 {
+		t.Fatal("Free must bump the sequence stamp")
+	}
+}
+
+func TestStealAcrossShards(t *testing.T) {
+	// Capacity 1: the single node lives in shard 0; allocating from any tid
+	// must steal it.
+	a := New(1)
+	idx, ok := a.TryAlloc(37)
+	if !ok {
+		t.Fatal("steal failed")
+	}
+	a.Free(37, idx) // lands in shard 37&63
+	if _, ok := a.TryAlloc(5); !ok {
+		t.Fatal("steal from non-home shard failed")
+	}
+}
+
+func TestStats(t *testing.T) {
+	a := New(10)
+	x := a.Alloc(0)
+	y := a.Alloc(1)
+	a.Free(1, y)
+	s := a.Stats()
+	if s.Allocated != 2 || s.Freed != 1 {
+		t.Fatalf("Stats = %+v, want {2 1}", s)
+	}
+	if a.Live() != 1 {
+		t.Fatalf("Live = %d, want 1", a.Live())
+	}
+	a.Free(0, x)
+}
+
+func TestDeref(t *testing.T) {
+	a := New(8)
+	idx := a.Alloc(0)
+	w := ptr.Pack(idx)
+	if a.Deref(w) != a.Node(idx) {
+		t.Fatal("Deref and Node disagree")
+	}
+	if a.Deref(ptr.WithMark(w)) != a.Node(idx) {
+		t.Fatal("Deref must ignore mark bits")
+	}
+}
+
+// TestConcurrentAllocFree hammers the free lists from many goroutines and
+// checks that no index is ever handed out twice concurrently.
+func TestConcurrentAllocFree(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 20000
+		cap     = 256
+	)
+	a := New(cap)
+	owned := make([]int32, cap) // 0 = free, 1 = owned
+
+	var wg sync.WaitGroup
+	errc := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			local := make([]ptr.Index, 0, 8)
+			for r := 0; r < rounds; r++ {
+				if len(local) < 4 {
+					if idx, ok := a.TryAlloc(tid); ok {
+						if owned[idx] != 0 {
+							errc <- "double allocation detected"
+							return
+						}
+						owned[idx] = 1
+						local = append(local, idx)
+					}
+				} else {
+					idx := local[len(local)-1]
+					local = local[:len(local)-1]
+					owned[idx] = 0
+					a.Free(tid, idx)
+				}
+			}
+			for _, idx := range local {
+				owned[idx] = 0
+				a.Free(tid, idx)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for e := range errc {
+		t.Fatal(e)
+	}
+	if a.Live() != 0 {
+		t.Fatalf("leak: Live = %d after all frees", a.Live())
+	}
+}
+
+// TestQuickAllocFreeConservation: any interleaved sequence of allocs and
+// frees conserves nodes — allocated-freed equals outstanding handles.
+func TestQuickAllocFreeConservation(t *testing.T) {
+	f := func(ops []bool) bool {
+		a := New(64)
+		var held []ptr.Index
+		for _, alloc := range ops {
+			if alloc {
+				if idx, ok := a.TryAlloc(0); ok {
+					held = append(held, idx)
+				}
+			} else if len(held) > 0 {
+				idx := held[len(held)-1]
+				held = held[:len(held)-1]
+				a.Free(0, idx)
+			}
+		}
+		return a.Live() == int64(len(held))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	a := New(128)
+	x := a.Alloc(0)
+	a.Node(x).Key.Store(5)
+	y := a.Alloc(0)
+	a.Free(0, y)
+	a.Reset()
+	if a.Live() != 0 {
+		t.Fatalf("Live = %d after Reset", a.Live())
+	}
+	s := a.Stats()
+	if s.Allocated != 0 || s.Freed != 0 {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+	// Everything is allocatable again, zeroed, with fresh stamps.
+	seen := 0
+	for {
+		idx, ok := a.TryAlloc(0)
+		if !ok {
+			break
+		}
+		n := a.Node(idx)
+		if n.Key.Load() != 0 || n.Seq.Load()&1 != 0 {
+			t.Fatalf("node %d not reset: key=%d seq=%d", idx, n.Key.Load(), n.Seq.Load())
+		}
+		seen++
+	}
+	if seen != 128 {
+		t.Fatalf("only %d nodes allocatable after Reset", seen)
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) must panic", c)
+				}
+			}()
+			New(c)
+		}()
+	}
+}

@@ -1,0 +1,344 @@
+// Package bench is the measurement harness that regenerates the paper's
+// evaluation: throughput and unreclaimed-object curves for every
+// combination of data structure, reclamation scheme, workload mix,
+// thread count, stalled-thread count and trimming mode (Figures 8–16).
+//
+// Methodology, after §6 of the paper: the structure is prefilled with
+// Prefill elements drawn from [0, KeyRange); each worker then runs the
+// operation mix for Duration with uniformly random keys. Throughput is
+// total operations over wall time. The unreclaimed-object metric samples
+// retired-minus-freed on a fixed cadence and averages the samples —
+// the analogue of the framework's "retired objects per operation" plots.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/ds"
+	"hyaline/internal/smr"
+	"hyaline/internal/trackers"
+)
+
+// Workload is an operation mix in percent.
+type Workload struct {
+	InsertPct int
+	DeletePct int
+	GetPct    int
+}
+
+// The paper's two workloads.
+var (
+	// WriteHeavy is the §6 write-intensive mix (50% insert, 50% delete).
+	WriteHeavy = Workload{InsertPct: 50, DeletePct: 50}
+	// ReadMostly is the Appendix A mix (90% get, 10% put split evenly).
+	ReadMostly = Workload{InsertPct: 5, DeletePct: 5, GetPct: 90}
+)
+
+// Name returns the figure-caption name of the workload.
+func (w Workload) Name() string {
+	if w.GetPct >= 50 {
+		return "read-mostly"
+	}
+	return "write-heavy"
+}
+
+// Config describes one benchmark run (one data point of one curve).
+type Config struct {
+	// Structure is the data structure name (see ds.Names).
+	Structure string
+	// Scheme is the reclamation scheme name (see trackers.Names).
+	Scheme string
+	// Threads is the active worker count.
+	Threads int
+	// Stalled adds workers that enter, touch the structure once and then
+	// stall inside their operation until the run ends (Figure 10a).
+	Stalled int
+	// Duration is the measurement window. Default 1s.
+	Duration time.Duration
+	// Prefill is the initial element count. Default 50000 (the paper).
+	Prefill int
+	// KeyRange is the key universe. Default 100000 (the paper).
+	KeyRange uint64
+	// Workload is the operation mix. Default WriteHeavy.
+	Workload Workload
+	// Trim replaces per-operation leave/enter with Hyaline's trim (§3.3,
+	// Figure 10b). Only Hyaline variants support it.
+	Trim bool
+	// Pin locks workers to OS threads, approximating the paper's pthread
+	// pinning.
+	Pin bool
+	// Tracker carries scheme tuning; MaxThreads is filled in by Run.
+	Tracker trackers.Config
+	// ArenaCap overrides the node pool size. The default scales with the
+	// prefill and duration; Leaky needs the headroom (capacity is virtual
+	// until touched).
+	ArenaCap int
+}
+
+func (c *Config) fill() {
+	if c.Duration == 0 {
+		c.Duration = time.Second
+	}
+	if c.Prefill == 0 {
+		c.Prefill = 50_000
+	}
+	if c.KeyRange == 0 {
+		c.KeyRange = 100_000
+	}
+	if c.Workload == (Workload{}) {
+		c.Workload = WriteHeavy
+	}
+	if c.ArenaCap == 0 {
+		c.ArenaCap = 1 << 25 // 32M nodes of virtual headroom
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+}
+
+// Result is one measured data point.
+type Result struct {
+	Structure string
+	Scheme    string
+	Threads   int
+	Stalled   int
+	Workload  string
+	Duration  time.Duration
+
+	Ops            int64
+	ThroughputMops float64 // million operations per second
+	AvgUnreclaimed float64 // time-averaged retired-but-not-freed nodes
+	MaxUnreclaimed int64
+	FinalStats     smr.Stats
+}
+
+// String formats the result as one table row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-10s %-11s thr=%-4d stall=%-3d %-11s %8.3f Mops/s  avg-unreclaimed=%10.0f",
+		r.Structure, r.Scheme, r.Threads, r.Stalled, r.Workload,
+		r.ThroughputMops, r.AvgUnreclaimed)
+}
+
+// Run executes one benchmark configuration.
+func Run(cfg Config) (Result, error) {
+	cfg.fill()
+	if !ds.Supports(cfg.Structure, cfg.Scheme) {
+		return Result{}, fmt.Errorf("bench: %s does not support scheme %s", cfg.Structure, cfg.Scheme)
+	}
+	if cfg.Trim && cfg.Scheme != "hyaline" && cfg.Scheme != "hyaline-1" &&
+		cfg.Scheme != "hyaline-s" && cfg.Scheme != "hyaline-1s" {
+		return Result{}, fmt.Errorf("bench: trim applies only to Hyaline variants, not %s", cfg.Scheme)
+	}
+
+	total := cfg.Threads + cfg.Stalled
+	tcfg := cfg.Tracker
+	tcfg.MaxThreads = total
+	a := takeArena(cfg.ArenaCap)
+	defer putArena(a)
+	// Benchmarks measure reclamation cost, not diagnostics: skip payload
+	// poisoning so Free costs what a C free() costs.
+	a.DisablePoison()
+	tr, err := trackers.New(cfg.Scheme, a, tcfg)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := ds.New(cfg.Structure, a, tr, total)
+	if err != nil {
+		return Result{}, err
+	}
+
+	prefill(tr, m, cfg)
+
+	var (
+		stop    atomic.Bool
+		started sync.WaitGroup
+		done    sync.WaitGroup
+		release = make(chan struct{})
+		opCount = make([]paddedCounter, total)
+	)
+
+	// Stalled workers: enter, dereference the structure once (so
+	// era-based schemes cover live nodes), then freeze until the end.
+	stallWoken := make(chan struct{})
+	var stallOnce sync.Once
+	for i := 0; i < cfg.Stalled; i++ {
+		tid := cfg.Threads + i
+		started.Add(1)
+		done.Add(1)
+		go func(tid int) {
+			defer done.Done()
+			tr.Enter(tid)
+			m.Get(tid, uint64(tid)%cfg.KeyRange)
+			started.Done()
+			<-stallWoken // park inside the operation
+			tr.Leave(tid)
+		}(tid)
+	}
+
+	for w := 0; w < cfg.Threads; w++ {
+		started.Add(1)
+		done.Add(1)
+		go func(tid int) {
+			defer done.Done()
+			if cfg.Pin {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			rng := rand.New(rand.NewSource(int64(tid)*2654435761 + 1))
+			started.Done()
+			<-release
+
+			trimmer, _ := tr.(smr.Trimmer)
+			if cfg.Trim {
+				tr.Enter(tid)
+			}
+			ops := int64(0)
+			for !stop.Load() {
+				key := uint64(rng.Int63n(int64(cfg.KeyRange)))
+				mix := rng.Intn(100)
+				if !cfg.Trim {
+					tr.Enter(tid)
+				}
+				switch {
+				case mix < cfg.Workload.InsertPct:
+					m.Insert(tid, key, key*31+7)
+				case mix < cfg.Workload.InsertPct+cfg.Workload.DeletePct:
+					m.Delete(tid, key)
+				default:
+					m.Get(tid, key)
+				}
+				if cfg.Trim {
+					trimmer.Trim(tid)
+				} else {
+					tr.Leave(tid)
+				}
+				ops++
+			}
+			if cfg.Trim {
+				tr.Leave(tid)
+			}
+			opCount[tid].v.Store(ops)
+		}(w)
+	}
+
+	started.Wait()
+	start := time.Now()
+	close(release)
+
+	// Sample the unreclaimed-object count during the run.
+	var (
+		samples int64
+		sumUn   float64
+		maxUn   int64
+	)
+	ticker := time.NewTicker(5 * time.Millisecond)
+	deadline := time.After(cfg.Duration)
+sampling:
+	for {
+		select {
+		case <-ticker.C:
+			st := tr.Stats()
+			un := st.Unreclaimed()
+			sumUn += float64(un)
+			samples++
+			if un > maxUn {
+				maxUn = un
+			}
+		case <-deadline:
+			break sampling
+		}
+	}
+	ticker.Stop()
+	stop.Store(true)
+	stallOnce.Do(func() { close(stallWoken) })
+	done.Wait()
+	elapsed := time.Since(start)
+
+	var ops int64
+	for i := range opCount {
+		ops += opCount[i].v.Load()
+	}
+	avg := 0.0
+	if samples > 0 {
+		avg = sumUn / float64(samples)
+	}
+	return Result{
+		Structure:      cfg.Structure,
+		Scheme:         cfg.Scheme,
+		Threads:        cfg.Threads,
+		Stalled:        cfg.Stalled,
+		Workload:       cfg.Workload.Name(),
+		Duration:       elapsed,
+		Ops:            ops,
+		ThroughputMops: float64(ops) / elapsed.Seconds() / 1e6,
+		AvgUnreclaimed: avg,
+		MaxUnreclaimed: maxUn,
+		FinalStats:     tr.Stats(),
+	}, nil
+}
+
+type paddedCounter struct {
+	v atomic.Int64
+	_ [7]uint64
+}
+
+// arenaCache recycles the (huge, mostly virtual) node pool between
+// sequential runs: Arena.Reset zeroes only the touched region, where a
+// fresh make would force the runtime to re-zero the whole reused span.
+var arenaCache struct {
+	mu    sync.Mutex
+	arena *arena.Arena
+}
+
+func takeArena(capacity int) *arena.Arena {
+	arenaCache.mu.Lock()
+	defer arenaCache.mu.Unlock()
+	if a := arenaCache.arena; a != nil && a.Cap() == capacity {
+		arenaCache.arena = nil
+		a.Reset()
+		return a
+	}
+	return arena.New(capacity)
+}
+
+func putArena(a *arena.Arena) {
+	arenaCache.mu.Lock()
+	defer arenaCache.mu.Unlock()
+	arenaCache.arena = a
+}
+
+// prefill inserts cfg.Prefill distinct random keys, spreading the work
+// over a handful of goroutines (the structure is concurrent, after all).
+func prefill(tr smr.Tracker, m ds.Map, cfg Config) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Threads {
+		workers = cfg.Threads
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var inserted atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tid) + 12345))
+			for inserted.Load() < int64(cfg.Prefill) {
+				key := uint64(rng.Int63n(int64(cfg.KeyRange)))
+				tr.Enter(tid)
+				if m.Insert(tid, key, key*31+7) {
+					inserted.Add(1)
+				}
+				tr.Leave(tid)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,60 @@
+// Package ds is the registry of the four benchmark data structures,
+// keyed by the names used in the paper's figures.
+package ds
+
+import (
+	"fmt"
+	"sort"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/bonsai"
+	"hyaline/internal/hashmap"
+	"hyaline/internal/list"
+	"hyaline/internal/natarajan"
+	"hyaline/internal/smr"
+)
+
+// Map is the common shape of all four benchmark structures.
+type Map interface {
+	// Insert adds key→val, failing if the key exists.
+	Insert(tid int, key, val uint64) bool
+	// Delete removes key, failing if it is absent.
+	Delete(tid int, key uint64) bool
+	// Get returns the value under key.
+	Get(tid int, key uint64) (uint64, bool)
+	// Len counts entries at quiescence.
+	Len() int
+}
+
+// Names returns the registered structure names.
+func Names() []string {
+	names := []string{"list", "hashmap", "bonsai", "natarajan"}
+	sort.Strings(names)
+	return names
+}
+
+// Supports reports whether the named structure runs under the named
+// scheme. As in the paper, the Bonsai tree is not implemented for the
+// pointer-based schemes (HP, HE).
+func Supports(structure, scheme string) bool {
+	if structure == "bonsai" && (scheme == "hp" || scheme == "he") {
+		return false
+	}
+	return true
+}
+
+// New constructs the named structure over a and tr for maxThreads.
+func New(structure string, a *arena.Arena, tr smr.Tracker, maxThreads int) (Map, error) {
+	switch structure {
+	case "list":
+		return list.New(a, tr), nil
+	case "hashmap":
+		return hashmap.New(a, tr, 0), nil
+	case "bonsai":
+		return bonsai.New(a, tr, maxThreads), nil
+	case "natarajan":
+		return natarajan.New(a, tr), nil
+	default:
+		return nil, fmt.Errorf("ds: unknown structure %q (known: %v)", structure, Names())
+	}
+}

@@ -1,0 +1,48 @@
+package ds
+
+import (
+	"testing"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/trackers"
+)
+
+func TestRegistry(t *testing.T) {
+	if len(Names()) != 4 {
+		t.Fatalf("structures: %v", Names())
+	}
+	a := arena.New(1 << 12)
+	tr := trackers.MustNew("epoch", a, trackers.Config{MaxThreads: 2})
+	for _, name := range Names() {
+		m, err := New(name, a, tr, 2)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		tr.Enter(0)
+		if !m.Insert(0, 7, 8) {
+			t.Fatalf("%s: insert failed", name)
+		}
+		if v, ok := m.Get(0, 7); !ok || v != 8 {
+			t.Fatalf("%s: get = (%d,%v)", name, v, ok)
+		}
+		if !m.Delete(0, 7) {
+			t.Fatalf("%s: delete failed", name)
+		}
+		tr.Leave(0)
+	}
+	if _, err := New("bogus", a, tr, 1); err == nil {
+		t.Fatal("unknown structure accepted")
+	}
+}
+
+func TestSupportsMatrix(t *testing.T) {
+	for _, structure := range Names() {
+		for _, scheme := range trackers.Names() {
+			got := Supports(structure, scheme)
+			want := !(structure == "bonsai" && (scheme == "hp" || scheme == "he"))
+			if got != want {
+				t.Fatalf("Supports(%s,%s) = %v", structure, scheme, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package dstest provides the cross-scheme conformance suite for the
+// four benchmark data structures. Each structure plugs in through a
+// Factory and is exercised under every reclamation scheme it supports,
+// against a sequential reference model and under concurrent churn with
+// use-after-free detection (value-invariant violations would expose
+// recycled nodes).
+package dstest
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/smr"
+	"hyaline/internal/trackers"
+)
+
+// Map is the common shape of all four benchmark structures.
+type Map interface {
+	Insert(tid int, key, val uint64) bool
+	Delete(tid int, key uint64) bool
+	Get(tid int, key uint64) (uint64, bool)
+	Len() int
+}
+
+// Factory builds a fresh structure over the given arena and tracker.
+type Factory func(a *arena.Arena, tr smr.Tracker) Map
+
+// Options tunes the suite.
+type Options struct {
+	// Schemes lists tracker names to test (default: all registered).
+	Schemes []string
+	// KeySpace is the key range for the concurrent tests (default 512,
+	// small enough to force real contention).
+	KeySpace uint64
+	// OpsPerThread bounds concurrent work (default 20000; -short halves).
+	OpsPerThread int
+	// LeakSlack tolerates structures that may leak a bounded number of
+	// nodes under contention (the Natarajan & Mittal cleanup retires the
+	// parent and leaf; longer tag chains leak, as in the original
+	// benchmark framework).
+	LeakSlack int64
+	// ArenaCap overrides the arena capacity (default 1<<21).
+	ArenaCap int
+}
+
+func (o *Options) fill() {
+	if len(o.Schemes) == 0 {
+		o.Schemes = trackers.Names()
+	}
+	if o.KeySpace == 0 {
+		o.KeySpace = 512
+	}
+	if o.OpsPerThread == 0 {
+		o.OpsPerThread = 20000
+	}
+	if testing.Short() {
+		o.OpsPerThread /= 2
+	}
+	if o.ArenaCap == 0 {
+		o.ArenaCap = 1 << 21
+	}
+}
+
+// checksum is the global value invariant: every insert stores
+// checksum(key), so any Get observing something else has read a
+// recycled or poisoned node.
+func checksum(key uint64) uint64 { return key*31 + 7 }
+
+// RunAll runs the whole suite for every scheme.
+func RunAll(t *testing.T, f Factory, opts Options) {
+	opts.fill()
+	for _, scheme := range opts.Schemes {
+		t.Run(scheme, func(t *testing.T) {
+			t.Run("Sequential", func(t *testing.T) { Sequential(t, f, scheme) })
+			t.Run("ReferenceModel", func(t *testing.T) { ReferenceModel(t, f, scheme) })
+			t.Run("ConcurrentChurn", func(t *testing.T) { ConcurrentChurn(t, f, scheme, opts) })
+		})
+	}
+}
+
+func newTracker(t *testing.T, scheme string, a *arena.Arena, maxThreads int) smr.Tracker {
+	t.Helper()
+	tr, err := trackers.New(scheme, a, trackers.Config{
+		MaxThreads: maxThreads,
+		Slots:      4,
+		MinBatch:   16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func enter(tr smr.Tracker, tid int) { tr.Enter(tid) }
+func leave(tr smr.Tracker, tid int) { tr.Leave(tid) }
+
+// Sequential checks basic single-threaded semantics.
+func Sequential(t *testing.T, f Factory, scheme string) {
+	a := arena.New(1 << 16)
+	tr := newTracker(t, scheme, a, 2)
+	m := f(a, tr)
+
+	op := func(fn func() bool) bool {
+		enter(tr, 0)
+		defer leave(tr, 0)
+		return fn()
+	}
+
+	if op(func() bool { _, ok := m.Get(0, 10); return ok }) {
+		t.Fatal("Get on empty structure succeeded")
+	}
+	if !op(func() bool { return m.Insert(0, 10, checksum(10)) }) {
+		t.Fatal("first Insert failed")
+	}
+	if op(func() bool { return m.Insert(0, 10, 999) }) {
+		t.Fatal("duplicate Insert succeeded")
+	}
+	if !op(func() bool {
+		v, ok := m.Get(0, 10)
+		return ok && v == checksum(10)
+	}) {
+		t.Fatal("Get after Insert failed or returned wrong value")
+	}
+	if op(func() bool { return m.Delete(0, 11) }) {
+		t.Fatal("Delete of absent key succeeded")
+	}
+	if !op(func() bool { return m.Delete(0, 10) }) {
+		t.Fatal("Delete of present key failed")
+	}
+	if op(func() bool { _, ok := m.Get(0, 10); return ok }) {
+		t.Fatal("Get after Delete succeeded")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after emptying", m.Len())
+	}
+
+	// Reinsertion after delete must work (recycling path).
+	for i := 0; i < 100; i++ {
+		k := uint64(i % 10)
+		op(func() bool { return m.Insert(0, k, checksum(k)) })
+		op(func() bool { return m.Delete(0, k) })
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after churn", m.Len())
+	}
+}
+
+// ReferenceModel replays a deterministic random op sequence against
+// map[uint64]uint64 and demands identical results.
+func ReferenceModel(t *testing.T, f Factory, scheme string) {
+	a := arena.New(1 << 16)
+	tr := newTracker(t, scheme, a, 2)
+	m := f(a, tr)
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(42))
+
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		key := uint64(rng.Intn(200))
+		enter(tr, 0)
+		switch rng.Intn(3) {
+		case 0:
+			got := m.Insert(0, key, checksum(key))
+			_, exists := ref[key]
+			if got == exists {
+				t.Fatalf("op %d: Insert(%d) = %v, ref exists=%v", i, key, got, exists)
+			}
+			if got {
+				ref[key] = checksum(key)
+			}
+		case 1:
+			got := m.Delete(0, key)
+			_, exists := ref[key]
+			if got != exists {
+				t.Fatalf("op %d: Delete(%d) = %v, ref exists=%v", i, key, got, exists)
+			}
+			delete(ref, key)
+		default:
+			v, ok := m.Get(0, key)
+			refV, exists := ref[key]
+			if ok != exists || (ok && v != refV) {
+				t.Fatalf("op %d: Get(%d) = (%d,%v), ref (%d,%v)", i, key, v, ok, refV, exists)
+			}
+		}
+		leave(tr, 0)
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref %d", m.Len(), len(ref))
+	}
+}
+
+// ConcurrentChurn hammers the structure from many goroutines. Each
+// thread owns a key stripe it mutates and models exactly; all threads
+// additionally read random keys and verify the checksum invariant
+// (catching reads of recycled nodes). Afterwards the structure must
+// agree with the union of the per-thread models, and the arena must
+// account for every node.
+func ConcurrentChurn(t *testing.T, f Factory, scheme string, opts Options) {
+	threads := runtime.GOMAXPROCS(0)
+	if threads < 4 {
+		threads = 4
+	}
+	if threads > 16 {
+		threads = 16
+	}
+	a := arena.New(opts.ArenaCap)
+	tr := newTracker(t, scheme, a, threads)
+	m := f(a, tr)
+
+	errc := make(chan string, threads)
+	var wg sync.WaitGroup
+	models := make([]map[uint64]bool, threads)
+
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tid) + 1))
+			model := map[uint64]bool{}
+			models[tid] = model
+			for i := 0; i < opts.OpsPerThread; i++ {
+				// Own-stripe keys: key % threads == tid.
+				key := uint64(rng.Intn(int(opts.KeySpace)))*uint64(threads) + uint64(tid)
+				enter(tr, tid)
+				switch rng.Intn(4) {
+				case 0:
+					got := m.Insert(tid, key, checksum(key))
+					if got == model[key] {
+						errc <- fmt.Sprintf("tid %d: Insert(%d)=%v but model says %v", tid, key, got, model[key])
+						leave(tr, tid)
+						return
+					}
+					model[key] = true
+				case 1:
+					got := m.Delete(tid, key)
+					if got != model[key] {
+						errc <- fmt.Sprintf("tid %d: Delete(%d)=%v but model says %v", tid, key, got, model[key])
+						leave(tr, tid)
+						return
+					}
+					model[key] = false
+				case 2:
+					v, ok := m.Get(tid, key)
+					if ok != model[key] || (ok && v != checksum(key)) {
+						errc <- fmt.Sprintf("tid %d: Get(%d)=(%d,%v) but model says %v", tid, key, v, ok, model[key])
+						leave(tr, tid)
+						return
+					}
+				default:
+					// Foreign read: only the checksum invariant applies.
+					fk := uint64(rng.Intn(int(opts.KeySpace) * threads))
+					if v, ok := m.Get(tid, fk); ok && v != checksum(fk) {
+						errc <- fmt.Sprintf("tid %d: foreign Get(%d) returned %d, want %d (use-after-free?)", tid, fk, v, checksum(fk))
+						leave(tr, tid)
+						return
+					}
+				}
+				leave(tr, tid)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for e := range errc {
+		t.Fatal(e)
+	}
+
+	// The final structure must match the union of per-thread models.
+	want := 0
+	for tid, model := range models {
+		for key, present := range model {
+			enter(tr, tid)
+			v, ok := m.Get(tid, key)
+			leave(tr, tid)
+			if ok != present || (ok && v != checksum(key)) {
+				t.Fatalf("post-churn: key %d present=%v want %v", key, ok, present)
+			}
+			if present {
+				want++
+			}
+		}
+	}
+	if got := m.Len(); got != want {
+		t.Fatalf("Len = %d, models say %d", got, want)
+	}
+
+	// Reclamation accounting at quiescence.
+	if fl, ok := tr.(smr.Flusher); ok {
+		for pass := 0; pass < 3; pass++ {
+			for tid := 0; tid < threads; tid++ {
+				fl.Flush(tid)
+			}
+		}
+	}
+	st := tr.Stats()
+	if scheme != "leaky" {
+		slack := int64(4096) + opts.LeakSlack
+		if un := st.Unreclaimed(); un > slack {
+			t.Fatalf("%d nodes unreclaimed at quiescence (slack %d)", un, slack)
+		}
+	}
+	live := a.Live()
+	// live = structure nodes + retired-but-unreclaimed + bounded leaks.
+	lower := st.Unreclaimed()
+	upper := st.Unreclaimed() + int64(structureNodeBound(m.Len())) + opts.LeakSlack
+	if live < lower || live > upper {
+		t.Fatalf("arena live=%d outside [%d, %d] (len=%d, stats %+v)",
+			live, lower, upper, m.Len(), st)
+	}
+}
+
+// structureNodeBound over-approximates how many arena nodes a structure
+// with n entries may own (trees allocate internal routing nodes).
+func structureNodeBound(n int) int { return 2*n + 64 }

@@ -1,0 +1,11 @@
+package ebr
+
+import (
+	"testing"
+
+	"hyaline/internal/smrtest"
+)
+
+func TestConformanceExtra(t *testing.T) {
+	smrtest.RunExtra(t, factory, smrtest.Options{})
+}

@@ -1,0 +1,52 @@
+package hashmap
+
+import (
+	"testing"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/dstest"
+	"hyaline/internal/smr"
+	"hyaline/internal/trackers"
+)
+
+func factory(a *arena.Arena, tr smr.Tracker) dstest.Map {
+	return New(a, tr, 1<<8) // small table: multi-node chains get exercised
+}
+
+func TestAllSchemes(t *testing.T) {
+	dstest.RunAll(t, factory, dstest.Options{KeySpace: 2048})
+}
+
+func TestBucketDistribution(t *testing.T) {
+	a := arena.New(1 << 14)
+	tr := trackers.MustNew("leaky", a, trackers.Config{MaxThreads: 1})
+	m := New(a, tr, 1<<4)
+	// Sequential keys must spread across buckets, not collide in one.
+	heads := map[interface{}]int{}
+	for k := uint64(0); k < 64; k++ {
+		heads[m.bucket(k)]++
+	}
+	if len(heads) < 8 {
+		t.Fatalf("64 sequential keys landed in only %d/16 buckets", len(heads))
+	}
+}
+
+func TestPowerOfTwoBucketsEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two bucket count must panic")
+		}
+	}()
+	a := arena.New(16)
+	tr := trackers.MustNew("leaky", a, trackers.Config{MaxThreads: 1})
+	New(a, tr, 3)
+}
+
+func TestDefaultBuckets(t *testing.T) {
+	a := arena.New(16)
+	tr := trackers.MustNew("leaky", a, trackers.Config{MaxThreads: 1})
+	m := New(a, tr, 0)
+	if len(m.buckets) != DefaultBuckets {
+		t.Fatalf("default buckets = %d", len(m.buckets))
+	}
+}

@@ -1,0 +1,14 @@
+package hp
+
+import (
+	"testing"
+
+	"hyaline/internal/smrtest"
+)
+
+// BenchmarkPrimitives measures this scheme's per-operation primitive
+// costs (enter/leave bracket, retire pipeline, protected read) for the
+// cross-scheme ablation comparison.
+func BenchmarkPrimitives(b *testing.B) {
+	smrtest.BenchAll(b, factory)
+}

@@ -1,0 +1,90 @@
+package hyaline
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/ptr"
+	"hyaline/internal/smr"
+	"hyaline/internal/smrtest"
+)
+
+// BenchmarkPrimitives measures the per-operation primitive costs of all
+// four variants for the cross-scheme ablation comparison.
+func BenchmarkPrimitives(b *testing.B) {
+	for _, v := range []Variant{Basic, One, Robust, RobustOne} {
+		b.Run(v.String(), func(b *testing.B) {
+			smrtest.BenchAll(b, factory(v))
+		})
+	}
+}
+
+// BenchmarkSlotsAblation sweeps the slot count k: few slots mean
+// contended heads (the motivation for §3.2's multiple lists), many slots
+// mean wider batch fan-out in retire.
+func BenchmarkSlotsAblation(b *testing.B) {
+	for _, k := range []int{1, 4, 16, 64, 128} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			f := func(a *arena.Arena, maxThreads int) smr.Tracker {
+				return New(a, Config{Variant: Basic, MaxThreads: maxThreads, Slots: k})
+			}
+			smrtest.BenchRegisterSwapParallel(b, f)
+		})
+	}
+}
+
+// BenchmarkBatchAblation sweeps the minimum batch size: the §6 lever for
+// retire amortization versus garbage-pool size.
+func BenchmarkBatchAblation(b *testing.B) {
+	for _, mb := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", mb), func(b *testing.B) {
+			f := func(a *arena.Arena, maxThreads int) smr.Tracker {
+				return New(a, Config{Variant: Basic, MaxThreads: maxThreads, MinBatch: mb})
+			}
+			smrtest.BenchRegisterSwapParallel(b, f)
+		})
+	}
+}
+
+// BenchmarkTrimVsLeaveEnter compares §3.3 trim with a leave+enter pair
+// on an otherwise idle tracker (the uncontended baseline cost).
+func BenchmarkTrimVsLeaveEnter(b *testing.B) {
+	mk := func() *Tracker {
+		return New(arena.New(1<<14), Config{Variant: Basic, MaxThreads: 1, Slots: 4})
+	}
+	b.Run("leave-enter", func(b *testing.B) {
+		tr := mk()
+		tr.Enter(0)
+		for i := 0; i < b.N; i++ {
+			tr.Leave(0)
+			tr.Enter(0)
+		}
+		tr.Leave(0)
+	})
+	b.Run("trim", func(b *testing.B) {
+		tr := mk()
+		tr.Enter(0)
+		for i := 0; i < b.N; i++ {
+			tr.Trim(0)
+		}
+		tr.Leave(0)
+	})
+}
+
+// BenchmarkEraDeref measures the Fig. 5 deref fast path: when the slot's
+// access era already matches the clock, Protect is two loads.
+func BenchmarkEraDeref(b *testing.B) {
+	a := arena.New(1 << 10)
+	tr := New(a, Config{Variant: Robust, MaxThreads: 1, Slots: 1})
+	tr.Enter(0)
+	var link atomic.Uint64
+	link.Store(ptr.Pack(tr.Alloc(0)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Protect(0, 0, &link)
+	}
+	b.StopTimer()
+	tr.Leave(0)
+}

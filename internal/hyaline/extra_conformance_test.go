@@ -1,0 +1,23 @@
+package hyaline
+
+import (
+	"testing"
+
+	"hyaline/internal/smrtest"
+)
+
+func TestConformanceExtraBasic(t *testing.T) {
+	smrtest.RunExtra(t, factory(Basic), smrtest.Options{})
+}
+
+func TestConformanceExtraOne(t *testing.T) {
+	smrtest.RunExtra(t, factory(One), smrtest.Options{})
+}
+
+func TestConformanceExtraRobust(t *testing.T) {
+	smrtest.RunExtra(t, factory(Robust), smrtest.Options{})
+}
+
+func TestConformanceExtraRobustOne(t *testing.T) {
+	smrtest.RunExtra(t, factory(RobustOne), smrtest.Options{})
+}

@@ -1,0 +1,206 @@
+package hyaline
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/ptr"
+)
+
+// churn performs ops alloc+retire cycles on behalf of tid, with a
+// simulated dereference so that era-based schemes cover the nodes.
+func churn(tr *Tracker, tid, ops int) {
+	var probe atomic.Uint64
+	for i := 0; i < ops; i++ {
+		tr.Enter(tid)
+		idx := tr.Alloc(tid)
+		probe.Store(ptr.Pack(idx))
+		tr.Protect(tid, 0, &probe)
+		tr.Retire(tid, idx)
+		tr.Leave(tid)
+	}
+}
+
+// TestRobustStalledThreadBounded: the Hyaline-S headline property (§4.2).
+// A thread stalls inside an operation in its own slot; an active thread
+// keeps churning in a different slot. Because the stalled slot's access
+// era goes stale, new batches skip it and garbage stays bounded — unlike
+// basic Hyaline, where the same scenario pins everything (Fig. 10a).
+func TestRobustStalledThreadBounded(t *testing.T) {
+	for _, v := range []Variant{Robust, RobustOne} {
+		t.Run(v.String(), func(t *testing.T) {
+			a := arena.New(1 << 20)
+			tr := New(a, Config{
+				Variant: v, MaxThreads: 2, Slots: 2, MinBatch: 8, Freq: 4,
+			})
+
+			tr.Enter(1) // tid 1 stalls in slot 1, never dereferencing
+
+			const ops = 50_000
+			churn(tr, 0, ops)
+			tr.Flush(0)
+
+			un := tr.Stats().Unreclaimed()
+			// Bounded: a small multiple of the batch size, not ~ops.
+			if un > 1024 {
+				t.Fatalf("stalled thread pinned %d nodes; Hyaline-%s must bound garbage", un, v)
+			}
+			tr.Leave(1)
+		})
+	}
+}
+
+// TestBasicStalledThreadUnbounded is the negative control: the same
+// scenario under basic Hyaline grows without bound, matching the paper's
+// Figure 10a for non-robust schemes.
+func TestBasicStalledThreadUnbounded(t *testing.T) {
+	a := arena.New(1 << 20)
+	tr := New(a, Config{Variant: Basic, MaxThreads: 2, Slots: 1, MinBatch: 8})
+	tr.Enter(1)
+	const ops = 20_000
+	churn(tr, 0, ops)
+	tr.Flush(0)
+	if un := tr.Stats().Unreclaimed(); un < ops*9/10 {
+		t.Fatalf("expected ~%d pinned under basic Hyaline, got %d", ops, un)
+	}
+	tr.Leave(1)
+}
+
+// TestAckAvoidance: when active threads share a slot with a stalled
+// thread, the slot's Ack counter accumulates (+HRef per inserted batch,
+// -1 per traversed batch; the stalled thread never traverses). Once it
+// crosses the threshold, enter must rotate active threads away (Fig. 5
+// lines 26-28), after which the slot goes era-stale and garbage drains.
+func TestAckAvoidance(t *testing.T) {
+	a := arena.New(1 << 20)
+	tr := New(a, Config{
+		Variant: Robust, MaxThreads: 3, Slots: 2,
+		MinBatch: 4, Freq: 2, AckThreshold: 64,
+	})
+
+	// tid 2 maps to slot 0 (2 & 1), same as tid 0: stall it there.
+	tr.Enter(2)
+	if got := tr.threads[2].slot; got != 0 {
+		t.Fatalf("stalled thread landed in slot %d, want 0", got)
+	}
+
+	const ops = 30_000
+	churn(tr, 0, ops) // tid 0 starts in slot 0, must eventually flee
+	if got := tr.threads[0].slot; got != 1 {
+		t.Fatalf("active thread still in contaminated slot %d, want rotation to 1", got)
+	}
+	if ack := tr.slot(0).ack.Load(); ack < 64 {
+		t.Fatalf("slot 0 ack = %d, expected it to cross the threshold", ack)
+	}
+
+	tr.Flush(0)
+	if un := tr.Stats().Unreclaimed(); un > 2048 {
+		t.Fatalf("%d nodes unreclaimed; ack avoidance failed to bound garbage", un)
+	}
+	tr.Leave(2)
+}
+
+// TestAdaptiveResize: §4.3 — when every slot is saturated by stalled
+// threads, enter doubles the slot count through the directory. The
+// tracker must keep reclaiming with mixed-Adjs batches in flight.
+func TestAdaptiveResize(t *testing.T) {
+	a := arena.New(1 << 20)
+	tr := New(a, Config{
+		Variant: Robust, MaxThreads: 4, Slots: 1,
+		MinBatch: 4, Freq: 2, AckThreshold: 32, Resize: true,
+	})
+	if tr.Slots() != 1 {
+		t.Fatalf("initial k = %d, want 1", tr.Slots())
+	}
+
+	tr.Enter(1) // stall in the only slot
+
+	const ops = 30_000
+	churn(tr, 0, ops)
+
+	if k := tr.Slots(); k < 2 {
+		t.Fatalf("slot count never grew past %d despite saturated slots", k)
+	}
+	tr.Flush(0)
+	if un := tr.Stats().Unreclaimed(); un > 2048 {
+		t.Fatalf("%d nodes unreclaimed after resize", un)
+	}
+
+	// The stalled thread resumes: the system must drain completely.
+	tr.Leave(1)
+	churn(tr, 0, 1000)
+	for pass := 0; pass < 2; pass++ {
+		for tid := 0; tid < 4; tid++ {
+			tr.Flush(tid)
+		}
+	}
+	if un := tr.Stats().Unreclaimed(); un != 0 {
+		t.Fatalf("%d unreclaimed after stall cleared", un)
+	}
+	if live := a.Live(); live != 0 {
+		t.Fatalf("arena live = %d after full drain", live)
+	}
+}
+
+// TestResizeDirectoryIndexing exercises the Fig. 6 slot-directory math
+// through several doublings.
+func TestResizeDirectoryIndexing(t *testing.T) {
+	a := arena.New(1 << 12)
+	tr := New(a, Config{
+		Variant: Robust, MaxThreads: 2, Slots: 2,
+		MinBatch: 4, Resize: true,
+	})
+	k := 2
+	for i := 0; i < 4; i++ {
+		k = tr.grow(k)
+	}
+	if k != 32 {
+		t.Fatalf("after 4 doublings k = %d, want 32", k)
+	}
+	// Every slot index must resolve to a distinct slotState.
+	seen := map[*slotState]int{}
+	for i := 0; i < 32; i++ {
+		st := tr.slot(i)
+		if prev, dup := seen[st]; dup {
+			t.Fatalf("slots %d and %d alias the same state", prev, i)
+		}
+		seen[st] = i
+		st.head.Add(hrefUnit) // touch to prove the backing array exists
+	}
+}
+
+// TestEraClockAdvances checks Fig. 5 init_node: the global era advances
+// every Freq allocations and newborn nodes carry the current era.
+func TestEraClockAdvances(t *testing.T) {
+	a := arena.New(1 << 12)
+	tr := New(a, Config{Variant: Robust, MaxThreads: 1, Slots: 1, Freq: 10})
+	start := tr.allocEra.Load()
+	var last ptr.Index
+	for i := 0; i < 100; i++ {
+		last = tr.Alloc(0)
+	}
+	if got := tr.allocEra.Load(); got != start+10 {
+		t.Fatalf("era advanced by %d after 100 allocs at Freq=10, want 10", got-start)
+	}
+	if birth := a.Node(last).Refs.Load(); birth != tr.allocEra.Load() {
+		t.Fatalf("birth era %d, want %d", birth, tr.allocEra.Load())
+	}
+}
+
+// TestTouchIsMonotonic: concurrent touch calls must never lower a slot's
+// access era (CAS-max semantics for shared slots).
+func TestTouchIsMonotonic(t *testing.T) {
+	a := arena.New(64)
+	tr := New(a, Config{Variant: Robust, MaxThreads: 2, Slots: 1})
+	st := tr.slot(0)
+	if got := tr.touch(st, 5); got != 5 {
+		t.Fatalf("touch(5) = %d", got)
+	}
+	if got := tr.touch(st, 3); got != 5 {
+		t.Fatalf("touch(3) after 5 = %d, must keep the max", got)
+	}
+	if got := st.access.Load(); got != 5 {
+		t.Fatalf("access = %d", got)
+	}
+}

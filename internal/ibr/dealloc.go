@@ -1,0 +1,10 @@
+package ibr
+
+import "hyaline/internal/ptr"
+
+// Dealloc implements smr.Tracker: a never-published speculative node is
+// freed directly, as unmanaged code would, bypassing reclamation.
+func (t *Tracker) Dealloc(tid int, idx ptr.Index) {
+	t.counters.Dealloc(tid)
+	t.arena.Free(tid, idx)
+}

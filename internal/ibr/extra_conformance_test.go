@@ -1,0 +1,11 @@
+package ibr
+
+import (
+	"testing"
+
+	"hyaline/internal/smrtest"
+)
+
+func TestConformanceExtra(t *testing.T) {
+	smrtest.RunExtra(t, factory, smrtest.Options{})
+}

@@ -1,0 +1,72 @@
+// Package leaky implements the paper's "Leaky" baseline: no reclamation
+// at all. Retired nodes are never freed, so every run leaks exactly its
+// retire count. Leaky is the throughput yardstick in Figures 8, 11, 13
+// and 15; the paper notes a scheme can even beat it because recycling hot
+// nodes is cheaper than faulting fresh memory.
+package leaky
+
+import (
+	"sync/atomic"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/ptr"
+	"hyaline/internal/smr"
+)
+
+// Tracker is the no-op reclamation scheme.
+type Tracker struct {
+	arena    *arena.Arena
+	counters *smr.Counters
+}
+
+var _ smr.Tracker = (*Tracker)(nil)
+
+// New creates a leaky tracker over a. The arena must be sized for the
+// whole run, since nothing is ever recycled.
+func New(a *arena.Arena, maxThreads int) *Tracker {
+	return &Tracker{arena: a, counters: smr.NewCounters(maxThreads)}
+}
+
+// Name implements smr.Tracker.
+func (t *Tracker) Name() string { return "leaky" }
+
+// Enter implements smr.Tracker. It is a no-op.
+func (t *Tracker) Enter(int) {}
+
+// Leave implements smr.Tracker. It is a no-op.
+func (t *Tracker) Leave(int) {}
+
+// Alloc implements smr.Tracker.
+func (t *Tracker) Alloc(tid int) ptr.Index {
+	t.counters.Alloc(tid)
+	return t.arena.Alloc(tid)
+}
+
+// Retire implements smr.Tracker: the node is abandoned, never freed.
+func (t *Tracker) Retire(tid int, _ ptr.Index) {
+	t.counters.Retire(tid)
+}
+
+// Flush implements smr.Flusher. Leaky has nothing to flush.
+func (t *Tracker) Flush(int) {}
+
+// Protect implements smr.Tracker with a plain atomic load.
+func (t *Tracker) Protect(_, _ int, addr *atomic.Uint64) ptr.Word {
+	return addr.Load()
+}
+
+// Stats implements smr.Tracker.
+func (t *Tracker) Stats() smr.Stats { return t.counters.Sum() }
+
+// Properties implements smr.Tracker.
+func (t *Tracker) Properties() smr.Properties {
+	return smr.Properties{
+		Scheme:      "Leaky",
+		BasedOn:     "-",
+		Performance: "Baseline",
+		Robust:      "No",
+		Transparent: "Yes",
+		Reclamation: "none",
+		API:         "None",
+	}
+}

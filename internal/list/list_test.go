@@ -1,0 +1,120 @@
+package list
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/dstest"
+	"hyaline/internal/smr"
+	"hyaline/internal/trackers"
+)
+
+func factory(a *arena.Arena, tr smr.Tracker) dstest.Map {
+	return New(a, tr)
+}
+
+func TestAllSchemes(t *testing.T) {
+	dstest.RunAll(t, factory, dstest.Options{
+		// Lists are slow; keep the churn volume moderate.
+		OpsPerThread: 4000,
+		KeySpace:     64,
+	})
+}
+
+func TestSortedOrder(t *testing.T) {
+	a := arena.New(1 << 12)
+	tr := trackers.MustNew("hyaline", a, trackers.Config{MaxThreads: 1, Slots: 2, MinBatch: 8})
+	l := New(a, tr)
+	in := []uint64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for _, k := range in {
+		tr.Enter(0)
+		if !l.Insert(0, k, k) {
+			t.Fatalf("insert %d failed", k)
+		}
+		tr.Leave(0)
+	}
+	keys := l.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("keys not sorted: %v", keys)
+	}
+	if len(keys) != len(in) {
+		t.Fatalf("len %d, want %d", len(keys), len(in))
+	}
+}
+
+// TestQuickAgainstModel drives random op sequences through the list and
+// a reference map simultaneously (property-based, single-threaded).
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a := arena.New(1 << 14)
+		tr := trackers.MustNew("epoch", a, trackers.Config{MaxThreads: 1})
+		l := New(a, tr)
+		ref := map[uint64]uint64{}
+		for _, op := range ops {
+			key := uint64(op % 32)
+			kind := (op / 32) % 3
+			tr.Enter(0)
+			switch kind {
+			case 0:
+				got := l.Insert(0, key, key+100)
+				_, exists := ref[key]
+				if got == exists {
+					return false
+				}
+				if got {
+					ref[key] = key + 100
+				}
+			case 1:
+				got := l.Delete(0, key)
+				_, exists := ref[key]
+				if got != exists {
+					return false
+				}
+				delete(ref, key)
+			default:
+				v, ok := l.Get(0, key)
+				rv, exists := ref[key]
+				if ok != exists || (ok && v != rv) {
+					return false
+				}
+			}
+			tr.Leave(0)
+		}
+		return l.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteRetiresExactlyOnce(t *testing.T) {
+	// Heavy same-key contention: each successful delete retires the node
+	// exactly once; the arena double-free panic would catch a second
+	// retire. At quiescence all retirees must drain.
+	a := arena.New(1 << 16)
+	tr := trackers.MustNew("hyaline", a, trackers.Config{MaxThreads: 1, Slots: 1, MinBatch: 4})
+	l := New(a, tr)
+	for i := 0; i < 5000; i++ {
+		tr.Enter(0)
+		if !l.Insert(0, 1, 2) {
+			t.Fatal("insert failed")
+		}
+		tr.Leave(0)
+		tr.Enter(0)
+		if !l.Delete(0, 1) {
+			t.Fatal("delete failed")
+		}
+		tr.Leave(0)
+	}
+	if fl, ok := tr.(smr.Flusher); ok {
+		fl.Flush(0)
+	}
+	if un := tr.Stats().Unreclaimed(); un != 0 {
+		t.Fatalf("%d unreclaimed", un)
+	}
+	if live := a.Live(); live != 0 {
+		t.Fatalf("%d live nodes leaked", live)
+	}
+}

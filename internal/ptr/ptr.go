@@ -1,0 +1,73 @@
+// Package ptr defines the packed pointer words used throughout the
+// repository in place of raw C pointers.
+//
+// The simulated unmanaged heap (package arena) addresses nodes by index.
+// A Word packs an index together with the low-bit tricks that lock-free
+// data structures play on real pointers:
+//
+//	bit 63        mark  (logical deletion, Harris/Michael lists)
+//	bit 62        flag  (Natarajan & Mittal edge flagging)
+//	bits 0..47    index+1 (0 means nil)
+//
+// Because the index occupies the low bits, a Word has exactly the ABA
+// characteristics of a C pointer: recycling a node makes an old Word
+// compare equal again, and only correct safe-memory-reclamation prevents
+// a stale compare-and-swap from succeeding.
+package ptr
+
+// Word is a packed pointer word stored in atomic.Uint64 fields.
+type Word = uint64
+
+// Index identifies a node in an arena. NilIndex is not a valid node.
+type Index = uint32
+
+const (
+	// MarkBit marks a logically deleted link (Harris/Michael).
+	MarkBit Word = 1 << 63
+	// FlagBit flags a link for helping (Natarajan & Mittal).
+	FlagBit Word = 1 << 62
+	// TagBit is a second Natarajan & Mittal edge bit ("tag").
+	TagBit Word = 1 << 61
+
+	bitsMask Word = MarkBit | FlagBit | TagBit
+	idxMask  Word = (1 << 48) - 1
+
+	// Nil is the null pointer word.
+	Nil Word = 0
+)
+
+// Pack builds an unmarked word referring to node index i.
+func Pack(i Index) Word { return Word(i) + 1 }
+
+// IsNil reports whether w refers to no node (ignoring mark/flag/tag bits).
+func IsNil(w Word) bool { return w&idxMask == 0 }
+
+// Idx extracts the node index. It must not be called on a nil word.
+func Idx(w Word) Index { return Index(w&idxMask) - 1 }
+
+// Clean strips the mark, flag and tag bits, leaving only the reference.
+func Clean(w Word) Word { return w &^ bitsMask }
+
+// Bits returns only the mark/flag/tag bits of w.
+func Bits(w Word) Word { return w & bitsMask }
+
+// Marked reports whether the mark bit is set.
+func Marked(w Word) bool { return w&MarkBit != 0 }
+
+// Flagged reports whether the flag bit is set.
+func Flagged(w Word) bool { return w&FlagBit != 0 }
+
+// Tagged reports whether the tag bit is set.
+func Tagged(w Word) bool { return w&TagBit != 0 }
+
+// WithMark returns w with the mark bit set.
+func WithMark(w Word) Word { return w | MarkBit }
+
+// WithFlag returns w with the flag bit set.
+func WithFlag(w Word) Word { return w | FlagBit }
+
+// WithTag returns w with the tag bit set.
+func WithTag(w Word) Word { return w | TagBit }
+
+// Same reports whether two words reference the same node, ignoring bits.
+func Same(a, b Word) bool { return Clean(a) == Clean(b) }

@@ -1,0 +1,93 @@
+package ptr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNil(t *testing.T) {
+	if !IsNil(Nil) {
+		t.Fatal("Nil must be nil")
+	}
+	if IsNil(Pack(0)) {
+		t.Fatal("Pack(0) must not be nil")
+	}
+	if !IsNil(WithMark(Nil)) {
+		t.Fatal("marked nil is still nil")
+	}
+	if !IsNil(WithFlag(WithTag(Nil))) {
+		t.Fatal("flag/tag bits do not change nilness")
+	}
+}
+
+func TestPackIdxRoundTrip(t *testing.T) {
+	for _, i := range []Index{0, 1, 2, 1 << 10, 1<<31 - 2} {
+		if got := Idx(Pack(i)); got != i {
+			t.Fatalf("Idx(Pack(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestBits(t *testing.T) {
+	w := Pack(42)
+	if Marked(w) || Flagged(w) || Tagged(w) {
+		t.Fatal("fresh word has no bits set")
+	}
+	m := WithMark(w)
+	if !Marked(m) {
+		t.Fatal("WithMark must set mark")
+	}
+	if Idx(m) != 42 {
+		t.Fatal("mark must not disturb the index")
+	}
+	if Clean(m) != w {
+		t.Fatal("Clean must strip the mark")
+	}
+	f := WithFlag(w)
+	if !Flagged(f) || Marked(f) || Tagged(f) {
+		t.Fatal("WithFlag sets exactly the flag")
+	}
+	g := WithTag(w)
+	if !Tagged(g) || Marked(g) || Flagged(g) {
+		t.Fatal("WithTag sets exactly the tag")
+	}
+	all := WithMark(WithFlag(WithTag(w)))
+	if Bits(all) != MarkBit|FlagBit|TagBit {
+		t.Fatal("Bits must report all set bits")
+	}
+	if Clean(all) != w {
+		t.Fatal("Clean strips all three bits")
+	}
+}
+
+func TestSame(t *testing.T) {
+	a, b := Pack(7), Pack(8)
+	if Same(a, b) {
+		t.Fatal("distinct nodes are not Same")
+	}
+	if !Same(a, WithMark(a)) || !Same(WithFlag(a), WithTag(a)) {
+		t.Fatal("Same ignores bits")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(i uint32, mark, flag, tag bool) bool {
+		idx := i % (1<<31 - 1)
+		w := Pack(idx)
+		if mark {
+			w = WithMark(w)
+		}
+		if flag {
+			w = WithFlag(w)
+		}
+		if tag {
+			w = WithTag(w)
+		}
+		return Idx(w) == idx &&
+			Marked(w) == mark && Flagged(w) == flag && Tagged(w) == tag &&
+			Clean(w) == Pack(idx) && !IsNil(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package smr defines the common interface implemented by every safe
+// memory reclamation (SMR) scheme in this repository: the four Hyaline
+// variants (the paper's contribution) and the baselines it is evaluated
+// against (Leaky, Epoch, HP, HE, IBR).
+//
+// The API mirrors the programming model of §2 of the paper and of the
+// interval-based-reclamation test framework the paper's evaluation uses:
+// every data structure operation is bracketed by Enter and Leave, every
+// link dereference goes through Protect, and unlinked nodes are Retired
+// rather than freed.
+package smr
+
+import (
+	"sync/atomic"
+
+	"hyaline/internal/ptr"
+)
+
+// Tracker is a safe memory reclamation scheme bound to one arena.
+//
+// Thread IDs are dense integers in [0, MaxThreads). They identify
+// per-thread batches, limbo lists and reservations; for the transparent
+// Hyaline variants the tid merely selects a slot and a local retire
+// buffer, matching the paper's claim that no per-thread registration is
+// needed.
+type Tracker interface {
+	// Name returns the scheme name as used in the paper's figures
+	// (e.g. "hyaline", "hyaline-1s", "epoch", "hp").
+	Name() string
+
+	// Enter begins a data structure operation on behalf of tid.
+	Enter(tid int)
+
+	// Leave ends the operation. After Leave the thread is "off the hook":
+	// it holds no references and (for Hyaline) need not check any of the
+	// nodes it retired.
+	Leave(tid int)
+
+	// Alloc returns a fresh node, initialized for this scheme (e.g. birth
+	// era recorded). It must be called between Enter and Leave.
+	Alloc(tid int) ptr.Index
+
+	// Retire hands a node that has been unlinked from the data structure
+	// to the reclamation scheme. The node must be unreachable from
+	// subsequent operations.
+	Retire(tid int, idx ptr.Index)
+
+	// Dealloc frees a node that was never published — a speculative
+	// allocation discarded after a failed CAS. No other thread can hold
+	// a reference, so it bypasses reclamation entirely, exactly as
+	// unmanaged code would call free() on it directly.
+	Dealloc(tid int, idx ptr.Index)
+
+	// Protect reads the link word *addr safely. slot distinguishes
+	// simultaneously held protections (hazard-pointer or hazard-era
+	// indexes); schemes that do not track individual pointers ignore it.
+	// The returned word may carry mark/flag/tag bits.
+	Protect(tid, slot int, addr *atomic.Uint64) ptr.Word
+
+	// Stats returns reclamation counters accumulated since creation.
+	Stats() Stats
+
+	// Properties returns the qualitative Table 1 row for this scheme.
+	Properties() Properties
+}
+
+// Trimmer is implemented by schemes that support the paper's §3.3 trim
+// operation: logically leave-then-enter without touching the slot head.
+// The handle returned by Trim replaces the one obtained at Enter.
+type Trimmer interface {
+	Tracker
+	// Trim dereferences nodes retired since the last Enter/Trim and
+	// returns a new handle, without altering Head.
+	Trim(tid int)
+}
+
+// Flusher is implemented by schemes that can push pending reclamation
+// work to completion when a thread quiesces: Hyaline finalizes a partial
+// batch with dummy nodes (§2.4), epoch/era schemes force a scan of their
+// limbo lists. Flush must be called outside Enter/Leave sections. It is
+// best-effort: nodes still referenced by other threads stay unreclaimed.
+type Flusher interface {
+	Flush(tid int)
+}
+
+// Stats are cumulative reclamation counters.
+type Stats struct {
+	Allocated int64 // nodes handed out by Alloc
+	Retired   int64 // nodes passed to Retire
+	Freed     int64 // nodes returned to the arena
+}
+
+// Unreclaimed returns the number of retired-but-not-yet-freed nodes, the
+// quantity plotted in Figures 9, 12, 14 and 16 of the paper.
+func (s Stats) Unreclaimed() int64 { return s.Retired - s.Freed }
+
+// Properties is a qualitative description of a scheme, reproducing the
+// columns of Table 1.
+type Properties struct {
+	Scheme      string // display name
+	BasedOn     string // lineage ("-" if original)
+	Performance string // qualitative throughput class
+	Robust      string // bounded garbage under stalled threads
+	Transparent string // no per-thread registration / off-the-hook leave
+	Reclamation string // asymptotic retire cost
+	API         string // usage burden
+}
+
+// Counters is a per-thread sharded counter set used by schemes to track
+// retire/free totals without adding a contended atomic to the hot path.
+type Counters struct {
+	shards []counterShard
+}
+
+type counterShard struct {
+	allocated atomic.Int64
+	retired   atomic.Int64
+	freed     atomic.Int64
+	_         [5]uint64 // pad to 64 B
+}
+
+// NewCounters creates counters for maxThreads threads.
+func NewCounters(maxThreads int) *Counters {
+	return &Counters{shards: make([]counterShard, maxThreads)}
+}
+
+// Alloc records one allocation by tid.
+func (c *Counters) Alloc(tid int) { c.shards[tid].allocated.Add(1) }
+
+// Retire records one retirement by tid.
+func (c *Counters) Retire(tid int) { c.shards[tid].retired.Add(1) }
+
+// RetireN records n retirements by tid.
+func (c *Counters) RetireN(tid int, n int64) { c.shards[tid].retired.Add(n) }
+
+// Dealloc records a free of a never-published node: it counts as retired
+// and freed at once, so Unreclaimed and Live stay consistent.
+func (c *Counters) Dealloc(tid int) {
+	c.shards[tid].retired.Add(1)
+	c.shards[tid].freed.Add(1)
+}
+
+// Free records n nodes freed by tid.
+func (c *Counters) Free(tid int, n int64) { c.shards[tid].freed.Add(n) }
+
+// Sum folds the shards into a Stats snapshot.
+func (c *Counters) Sum() Stats {
+	var s Stats
+	for i := range c.shards {
+		s.Allocated += c.shards[i].allocated.Load()
+		s.Retired += c.shards[i].retired.Load()
+		s.Freed += c.shards[i].freed.Load()
+	}
+	return s
+}

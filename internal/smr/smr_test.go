@@ -1,0 +1,78 @@
+package smr
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersSum(t *testing.T) {
+	c := NewCounters(4)
+	c.Alloc(0)
+	c.Alloc(1)
+	c.Retire(2)
+	c.RetireN(3, 5)
+	c.Free(0, 2)
+	c.Dealloc(1)
+	s := c.Sum()
+	want := Stats{Allocated: 2, Retired: 7, Freed: 3}
+	if s != want {
+		t.Fatalf("Sum = %+v, want %+v", s, want)
+	}
+	if s.Unreclaimed() != 4 {
+		t.Fatalf("Unreclaimed = %d", s.Unreclaimed())
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	const (
+		threads = 8
+		ops     = 10000
+	)
+	c := NewCounters(threads)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				c.Alloc(tid)
+				c.Retire(tid)
+				c.Free(tid, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Sum()
+	if s.Allocated != threads*ops || s.Retired != threads*ops || s.Freed != threads*ops {
+		t.Fatalf("lost updates: %+v", s)
+	}
+	if s.Unreclaimed() != 0 {
+		t.Fatalf("Unreclaimed = %d", s.Unreclaimed())
+	}
+}
+
+func TestDeallocKeepsInvariants(t *testing.T) {
+	// Dealloc must preserve Unreclaimed == Retired-Freed == 0 for pure
+	// dealloc traffic, for any interleaving.
+	f := func(deallocs uint8) bool {
+		c := NewCounters(1)
+		for i := 0; i < int(deallocs); i++ {
+			c.Alloc(0)
+			c.Dealloc(0)
+		}
+		s := c.Sum()
+		return s.Unreclaimed() == 0 && s.Allocated == int64(deallocs) &&
+			s.Freed == int64(deallocs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsUnreclaimed(t *testing.T) {
+	s := Stats{Allocated: 10, Retired: 7, Freed: 3}
+	if s.Unreclaimed() != 4 {
+		t.Fatalf("Unreclaimed = %d", s.Unreclaimed())
+	}
+}

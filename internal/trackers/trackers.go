@@ -1,0 +1,126 @@
+// Package trackers is the registry of all reclamation schemes evaluated
+// in the paper, keyed by the names used in its figures. The benchmark
+// harness, the CLI and the cross-scheme data structure tests construct
+// trackers through this single factory.
+package trackers
+
+import (
+	"fmt"
+	"sort"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/ebr"
+	"hyaline/internal/he"
+	"hyaline/internal/hp"
+	"hyaline/internal/hyaline"
+	"hyaline/internal/ibr"
+	"hyaline/internal/leaky"
+	"hyaline/internal/smr"
+)
+
+// Config carries the union of per-scheme tuning knobs; zero values select
+// each scheme's defaults.
+type Config struct {
+	// MaxThreads bounds the number of distinct tids (required).
+	MaxThreads int
+	// Slots is Hyaline's k (power of two); One-variants ignore it.
+	Slots int
+	// MinBatch is Hyaline's minimum batch size.
+	MinBatch int
+	// Freq is the era-advance frequency (Hyaline-S/1S, HE, IBR) and the
+	// epoch-advance frequency for EBR.
+	Freq int
+	// AckThreshold is Hyaline-S's stalled-slot detection level.
+	AckThreshold int64
+	// Resize enables Hyaline-S adaptive slot resizing (§4.3).
+	Resize bool
+	// Hazards is the per-thread protection-slot count (HP, HE).
+	Hazards int
+	// ScanThreshold is the limbo-list scan trigger (EBR, HP, HE, IBR).
+	ScanThreshold int
+}
+
+// Names returns every registered scheme name, sorted, in the paper's
+// terminology.
+func Names() []string {
+	names := []string{
+		"leaky", "epoch", "hp", "he", "ibr",
+		"hyaline", "hyaline-1", "hyaline-s", "hyaline-1s",
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reclaiming returns all scheme names except leaky.
+func Reclaiming() []string {
+	var out []string
+	for _, n := range Names() {
+		if n != "leaky" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// New constructs the named tracker over a.
+func New(name string, a *arena.Arena, cfg Config) (smr.Tracker, error) {
+	if cfg.MaxThreads <= 0 {
+		return nil, fmt.Errorf("trackers: MaxThreads must be positive, got %d", cfg.MaxThreads)
+	}
+	switch name {
+	case "leaky":
+		return leaky.New(a, cfg.MaxThreads), nil
+	case "epoch":
+		return ebr.New(a, ebr.Config{
+			MaxThreads:    cfg.MaxThreads,
+			EpochFreq:     cfg.Freq,
+			ScanThreshold: cfg.ScanThreshold,
+		}), nil
+	case "hp":
+		return hp.New(a, hp.Config{
+			MaxThreads:    cfg.MaxThreads,
+			Hazards:       cfg.Hazards,
+			ScanThreshold: cfg.ScanThreshold,
+		}), nil
+	case "he":
+		return he.New(a, he.Config{
+			MaxThreads:    cfg.MaxThreads,
+			Eras:          cfg.Hazards,
+			Freq:          cfg.Freq,
+			ScanThreshold: cfg.ScanThreshold,
+		}), nil
+	case "ibr":
+		return ibr.New(a, ibr.Config{
+			MaxThreads:    cfg.MaxThreads,
+			Freq:          cfg.Freq,
+			ScanThreshold: cfg.ScanThreshold,
+		}), nil
+	case "hyaline", "hyaline-1", "hyaline-s", "hyaline-1s":
+		variant := map[string]hyaline.Variant{
+			"hyaline":    hyaline.Basic,
+			"hyaline-1":  hyaline.One,
+			"hyaline-s":  hyaline.Robust,
+			"hyaline-1s": hyaline.RobustOne,
+		}[name]
+		return hyaline.New(a, hyaline.Config{
+			Variant:      variant,
+			MaxThreads:   cfg.MaxThreads,
+			Slots:        cfg.Slots,
+			MinBatch:     cfg.MinBatch,
+			Freq:         cfg.Freq,
+			AckThreshold: cfg.AckThreshold,
+			Resize:       cfg.Resize,
+		}), nil
+	default:
+		return nil, fmt.Errorf("trackers: unknown scheme %q (known: %v)", name, Names())
+	}
+}
+
+// MustNew is New for tests and examples where the name is static.
+func MustNew(name string, a *arena.Arena, cfg Config) smr.Tracker {
+	tr, err := New(name, a, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
