@@ -114,16 +114,19 @@ func BenchmarkTable1Properties(b *testing.B) {
 }
 
 // Figure 8: throughput, write-intensive (50% insert / 50% delete).
+// Row "e" is the skiplist workload added on top of the paper's four.
 func BenchmarkFig8aList(b *testing.B)      { throughputFigure(b, "list", bench.WriteHeavy) }
 func BenchmarkFig8bBonsai(b *testing.B)    { throughputFigure(b, "bonsai", bench.WriteHeavy) }
 func BenchmarkFig8cHashMap(b *testing.B)   { throughputFigure(b, "hashmap", bench.WriteHeavy) }
 func BenchmarkFig8dNatarajan(b *testing.B) { throughputFigure(b, "natarajan", bench.WriteHeavy) }
+func BenchmarkFig8eSkipList(b *testing.B)  { throughputFigure(b, "skiplist", bench.WriteHeavy) }
 
 // Figure 9: unreclaimed objects, write-intensive.
 func BenchmarkFig9aList(b *testing.B)      { unreclaimedFigure(b, "list", bench.WriteHeavy) }
 func BenchmarkFig9bBonsai(b *testing.B)    { unreclaimedFigure(b, "bonsai", bench.WriteHeavy) }
 func BenchmarkFig9cHashMap(b *testing.B)   { unreclaimedFigure(b, "hashmap", bench.WriteHeavy) }
 func BenchmarkFig9dNatarajan(b *testing.B) { unreclaimedFigure(b, "natarajan", bench.WriteHeavy) }
+func BenchmarkFig9eSkipList(b *testing.B)  { unreclaimedFigure(b, "skiplist", bench.WriteHeavy) }
 
 // Figure 10a: robustness — unreclaimed objects with stalled threads.
 func BenchmarkFig10aRobustness(b *testing.B) {
@@ -181,16 +184,18 @@ func BenchmarkFig11aList(b *testing.B)      { throughputFigure(b, "list", bench.
 func BenchmarkFig11bBonsai(b *testing.B)    { throughputFigure(b, "bonsai", bench.ReadMostly) }
 func BenchmarkFig11cHashMap(b *testing.B)   { throughputFigure(b, "hashmap", bench.ReadMostly) }
 func BenchmarkFig11dNatarajan(b *testing.B) { throughputFigure(b, "natarajan", bench.ReadMostly) }
+func BenchmarkFig11eSkipList(b *testing.B)  { throughputFigure(b, "skiplist", bench.ReadMostly) }
 
 func BenchmarkFig12aList(b *testing.B)      { unreclaimedFigure(b, "list", bench.ReadMostly) }
 func BenchmarkFig12bBonsai(b *testing.B)    { unreclaimedFigure(b, "bonsai", bench.ReadMostly) }
 func BenchmarkFig12cHashMap(b *testing.B)   { unreclaimedFigure(b, "hashmap", bench.ReadMostly) }
 func BenchmarkFig12dNatarajan(b *testing.B) { unreclaimedFigure(b, "natarajan", bench.ReadMostly) }
+func BenchmarkFig12eSkipList(b *testing.B)  { unreclaimedFigure(b, "skiplist", bench.ReadMostly) }
 
 // Figures 13–16 (PowerPC appendix): the LL/SC hardware is substituted by
 // the packed single-word CAS (§4.4); one representative structure per
 // family keeps the default benchmark run bounded. The hyalinebench CLI
-// regenerates the full 13a–16d grid.
+// regenerates the full 13a–16e grid.
 func BenchmarkFig13HashMapWrite(b *testing.B) { throughputFigure(b, "hashmap", bench.WriteHeavy) }
 func BenchmarkFig14HashMapWrite(b *testing.B) { unreclaimedFigure(b, "hashmap", bench.WriteHeavy) }
 func BenchmarkFig15HashMapRead(b *testing.B)  { throughputFigure(b, "hashmap", bench.ReadMostly) }

@@ -46,7 +46,7 @@ func run(args []string) error {
 		threads  = fs.Int("threads", runtime.GOMAXPROCS(0), "worker count for single runs / active threads for -figure 10a")
 		stalled  = fs.Int("stalled", 0, "stalled-thread count for single runs")
 
-		structure = fs.String("structure", "", "single run: data structure (list|hashmap|bonsai|natarajan)")
+		structure = fs.String("structure", "", "single run: data structure (list|hashmap|bonsai|natarajan|skiplist)")
 		scheme    = fs.String("scheme", "", "single run: reclamation scheme")
 		workload  = fs.String("workload", "write", "workload mix: write (50i/50d) or read (90g/10p)")
 		trim      = fs.Bool("trim", false, "single run: use Hyaline trim (§3.3)")

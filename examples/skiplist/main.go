@@ -1,0 +1,85 @@
+// Skiplist walkthrough: the multi-link workload under every scheme.
+//
+// A lock-free skiplist stresses reclamation differently from the other
+// structures: each node is a tower linked at up to eight levels, so a
+// delete must unlink it everywhere before anyone may retire it, and
+// failed splice CASes produce speculative Alloc/Dealloc traffic. This
+// example churns one skiplist per reclamation scheme under identical
+// load and prints the resulting throughput and reclamation accounting
+// side by side — Leaky's unreclaimed column shows what every other
+// scheme is managing to give back.
+//
+//	go run ./examples/skiplist
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hyaline"
+)
+
+func main() {
+	const (
+		workers  = 8
+		opsEach  = 100_000
+		keySpace = 20_000
+	)
+
+	fmt.Printf("%-11s %10s %12s %10s %10s %12s\n",
+		"scheme", "ops/ms", "allocated", "retired", "freed", "unreclaimed")
+	for _, scheme := range hyaline.Schemes() {
+		a := hyaline.NewArena(1 << 22)
+		tr, err := hyaline.New(scheme, a, hyaline.Options{MaxThreads: workers})
+		if err != nil {
+			panic(err)
+		}
+		m, err := hyaline.NewMap("skiplist", a, tr, workers)
+		if err != nil {
+			panic(err)
+		}
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(tid) + 1))
+				for i := 0; i < opsEach; i++ {
+					key := uint64(rng.Intn(keySpace))
+					tr.Enter(tid)
+					switch rng.Intn(4) {
+					case 0:
+						m.Insert(tid, key, key*31+7)
+					case 1:
+						m.Delete(tid, key)
+					default:
+						if v, ok := m.Get(tid, key); ok && v != key*31+7 {
+							panic("corrupted read — reclamation failed")
+						}
+					}
+					tr.Leave(tid)
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		// Drain pending retire batches so the accounting is exact.
+		if fl, ok := tr.(hyaline.Flusher); ok {
+			for pass := 0; pass < 3; pass++ {
+				for tid := 0; tid < workers; tid++ {
+					fl.Flush(tid)
+				}
+			}
+		}
+		st := tr.Stats()
+		fmt.Printf("%-11s %10.0f %12d %10d %10d %12d\n",
+			scheme,
+			float64(workers*opsEach)/float64(elapsed.Milliseconds()),
+			st.Allocated, st.Retired, st.Freed, st.Unreclaimed())
+	}
+}

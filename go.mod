@@ -1,0 +1,3 @@
+module hyaline
+
+go 1.24

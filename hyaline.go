@@ -4,8 +4,8 @@
 // every baseline scheme the paper evaluates against (epoch-based
 // reclamation, hazard pointers, hazard eras, interval-based reclamation,
 // and a leaky no-op), the four lock-free data structures of its
-// evaluation, and a benchmark harness that regenerates each of the
-// paper's tables and figures.
+// evaluation plus a lock-free skiplist workload, and a benchmark harness
+// that regenerates each of the paper's tables and figures.
 //
 // Go's garbage collector would make "reclamation" a no-op, so the
 // package manages a simulated unmanaged heap (Arena): nodes are
@@ -29,7 +29,8 @@
 //
 // Scheme names follow the paper's figures: "hyaline", "hyaline-1",
 // "hyaline-s", "hyaline-1s", "epoch", "hp", "he", "ibr", "leaky".
-// Structure names: "list", "hashmap", "bonsai", "natarajan".
+// Structure names: "list", "hashmap", "bonsai", "natarajan",
+// "skiplist".
 package hyaline
 
 import (

@@ -96,8 +96,8 @@ func TestSchemeAndStructureLists(t *testing.T) {
 		t.Fatalf("expected 9 schemes, got %v", schemes)
 	}
 	structures := hyaline.Structures()
-	if len(structures) != 4 {
-		t.Fatalf("expected 4 structures, got %v", structures)
+	if len(structures) != 5 {
+		t.Fatalf("expected 5 structures, got %v", structures)
 	}
 	// The paper's Bonsai exclusions.
 	if hyaline.Supports("bonsai", "hp") || hyaline.Supports("bonsai", "he") {

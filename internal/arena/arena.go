@@ -42,7 +42,8 @@ const Poison = 0xDEAD_BEEF_DEAD_BEEF
 //	            paper notes need not survive retirement
 //
 // The remaining fields are the data-structure payload, wide enough for all
-// four benchmark structures (the list's next pointer lives in Left).
+// benchmark structures (the list's next pointer lives in Left; the
+// skiplist's tower links live in Left plus Extra, see Link).
 type Node struct {
 	Next      atomic.Uint64 // ptr.Word or scheme-specific link
 	BatchLink atomic.Uint64 // ptr.Word
@@ -66,7 +67,25 @@ type Node struct {
 	// on double-free and on corruption of the live/free discipline.
 	Seq atomic.Uint64
 
-	_ [7]uint64 // pad to 128 B (two cache lines, Intel prefetcher pair)
+	// Extra holds the additional link words of multi-link nodes (skiplist
+	// towers: the level-1..7 next pointers, addressed through Link). The
+	// single-link structures never touch these words, so for them Extra
+	// is exactly the padding it replaced — the node stays 128 B (two
+	// cache lines, Intel prefetcher pair) either way.
+	Extra [MaxLinks - 1]atomic.Uint64
+}
+
+// MaxLinks is the number of per-level link words a node can hold: Left
+// (level 0) plus the Extra words. It caps the skiplist tower height.
+const MaxLinks = 8
+
+// Link returns the node's link word for the given level of a multi-link
+// structure: level 0 aliases Left, levels 1..MaxLinks-1 live in Extra.
+func (n *Node) Link(level int) *atomic.Uint64 {
+	if level == 0 {
+		return &n.Left
+	}
+	return &n.Extra[level-1]
 }
 
 // shards is the number of free-list shards. Power of two.
@@ -244,6 +263,9 @@ func (a *Arena) Free(tid int, idx ptr.Index) {
 		n.Aux.Store(Poison)
 		n.BatchLink.Store(Poison)
 		n.Refs.Store(Poison)
+		for i := range n.Extra {
+			n.Extra[i].Store(Poison)
+		}
 	}
 	s := tid & (shards - 1)
 	for {

@@ -79,6 +79,36 @@ func TestPoisonOnFree(t *testing.T) {
 	}
 }
 
+func TestLinkWords(t *testing.T) {
+	// Multi-link nodes: Link(0) aliases Left, upper levels map onto the
+	// Extra words, and all of them are poisoned on Free.
+	a := New(4)
+	idx := a.Alloc(0)
+	n := a.Node(idx)
+	if n.Link(0) != &n.Left {
+		t.Fatal("Link(0) must alias Left")
+	}
+	for lvl := 1; lvl < MaxLinks; lvl++ {
+		if n.Link(lvl) != &n.Extra[lvl-1] {
+			t.Fatalf("Link(%d) must alias Extra[%d]", lvl, lvl-1)
+		}
+	}
+	for lvl := 0; lvl < MaxLinks; lvl++ {
+		n.Link(lvl).Store(uint64(100 + lvl))
+	}
+	for lvl := 0; lvl < MaxLinks; lvl++ {
+		if got := n.Link(lvl).Load(); got != uint64(100+lvl) {
+			t.Fatalf("Link(%d) = %d after store", lvl, got)
+		}
+	}
+	a.Free(0, idx)
+	for lvl := 0; lvl < MaxLinks; lvl++ {
+		if got := n.Link(lvl).Load(); got != Poison {
+			t.Fatalf("Link(%d) = %#x after Free, want poison", lvl, got)
+		}
+	}
+}
+
 func TestStealAcrossShards(t *testing.T) {
 	// Capacity 1: the single node lives in shard 0; allocating from any tid
 	// must steal it.

@@ -73,8 +73,11 @@ func standardCurves(structure string) []Curve {
 // AllFigures lists every reproducible table/figure in paper order.
 func AllFigures() []Figure {
 	var figs []Figure
+	// Suffixes a–d are the paper's four structures; "e" is the skiplist
+	// workload this reproduction adds (same sweeps, same metrics).
 	structures := []struct{ suffix, name string }{
 		{"a", "list"}, {"b", "bonsai"}, {"c", "hashmap"}, {"d", "natarajan"},
+		{"e", "skiplist"},
 	}
 	add := func(num string, metric string, wl Workload, machine string) {
 		for _, s := range structures {

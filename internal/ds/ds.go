@@ -1,5 +1,6 @@
-// Package ds is the registry of the four benchmark data structures,
-// keyed by the names used in the paper's figures.
+// Package ds is the registry of the benchmark data structures: the four
+// from the paper's figures, keyed by the names used there, plus the
+// lock-free skiplist workload this reproduction adds on top.
 package ds
 
 import (
@@ -11,6 +12,7 @@ import (
 	"hyaline/internal/hashmap"
 	"hyaline/internal/list"
 	"hyaline/internal/natarajan"
+	"hyaline/internal/skiplist"
 	"hyaline/internal/smr"
 )
 
@@ -28,7 +30,7 @@ type Map interface {
 
 // Names returns the registered structure names.
 func Names() []string {
-	names := []string{"list", "hashmap", "bonsai", "natarajan"}
+	names := []string{"list", "hashmap", "bonsai", "natarajan", "skiplist"}
 	sort.Strings(names)
 	return names
 }
@@ -54,6 +56,8 @@ func New(structure string, a *arena.Arena, tr smr.Tracker, maxThreads int) (Map,
 		return bonsai.New(a, tr, maxThreads), nil
 	case "natarajan":
 		return natarajan.New(a, tr), nil
+	case "skiplist":
+		return skiplist.New(a, tr, maxThreads), nil
 	default:
 		return nil, fmt.Errorf("ds: unknown structure %q (known: %v)", structure, Names())
 	}

@@ -8,7 +8,7 @@ import (
 )
 
 func TestRegistry(t *testing.T) {
-	if len(Names()) != 4 {
+	if len(Names()) != 5 {
 		t.Fatalf("structures: %v", Names())
 	}
 	a := arena.New(1 << 12)

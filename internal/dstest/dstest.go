@@ -1,9 +1,10 @@
 // Package dstest provides the cross-scheme conformance suite for the
-// four benchmark data structures. Each structure plugs in through a
-// Factory and is exercised under every reclamation scheme it supports,
-// against a sequential reference model and under concurrent churn with
-// use-after-free detection (value-invariant violations would expose
-// recycled nodes).
+// benchmark data structures. Each structure plugs in through a Factory
+// and is exercised under every reclamation scheme it supports: against a
+// sequential reference model, under concurrent churn with use-after-free
+// detection (value-invariant violations would expose recycled nodes),
+// and through the Flush/Trim sub-interfaces with a quiescent drain
+// check.
 package dstest
 
 import (
@@ -78,6 +79,7 @@ func RunAll(t *testing.T, f Factory, opts Options) {
 			t.Run("Sequential", func(t *testing.T) { Sequential(t, f, scheme) })
 			t.Run("ReferenceModel", func(t *testing.T) { ReferenceModel(t, f, scheme) })
 			t.Run("ConcurrentChurn", func(t *testing.T) { ConcurrentChurn(t, f, scheme, opts) })
+			t.Run("FlushTrim", func(t *testing.T) { FlushTrim(t, f, scheme, opts) })
 		})
 	}
 }
@@ -310,6 +312,124 @@ func ConcurrentChurn(t *testing.T, f Factory, scheme string, opts Options) {
 	if live < lower || live > upper {
 		t.Fatalf("arena live=%d outside [%d, %d] (len=%d, stats %+v)",
 			live, lower, upper, m.Len(), st)
+	}
+}
+
+// FlushTrim exercises the smr.Flusher and smr.Trimmer sub-interfaces
+// against the structure: Trim replaces per-operation Leave/Enter for the
+// first half of the churn (the paper's §3.3 usage), Flush is called
+// periodically outside operations during the second half, and after the
+// structure is emptied repeated flushing must drain the unreclaimed
+// count toward zero (plus the structure's LeakSlack). Schemes that
+// implement neither interface are skipped; Leaky's Flush is a no-op by
+// design, so it is skipped too.
+func FlushTrim(t *testing.T, f Factory, scheme string, opts Options) {
+	a := arena.New(opts.ArenaCap)
+	threads := runtime.GOMAXPROCS(0)
+	if threads < 4 {
+		threads = 4
+	}
+	if threads > 8 {
+		threads = 8
+	}
+	tr := newTracker(t, scheme, a, threads)
+	fl, isFlusher := tr.(smr.Flusher)
+	tm, isTrimmer := tr.(smr.Trimmer)
+	if !isFlusher && !isTrimmer {
+		t.Skipf("%s implements neither Flusher nor Trimmer", scheme)
+	}
+	if scheme == "leaky" {
+		t.Skip("leaky never reclaims; nothing can drain")
+	}
+	m := f(a, tr)
+
+	ops := opts.OpsPerThread / 2
+	errc := make(chan string, threads)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tid) + 99))
+			churn := func() bool {
+				// Own-stripe keys, mutation-only: maximum retire traffic.
+				key := uint64(rng.Intn(int(opts.KeySpace)))*uint64(threads) + uint64(tid)
+				if rng.Intn(2) == 0 {
+					m.Insert(tid, key, checksum(key))
+				} else {
+					m.Delete(tid, key)
+				}
+				if v, ok := m.Get(tid, key); ok && v != checksum(key) {
+					errc <- fmt.Sprintf("tid %d: Get(%d) = %d, want %d (use-after-free?)",
+						tid, key, v, checksum(key))
+					return false
+				}
+				return true
+			}
+			if isTrimmer {
+				// Trim mode: one long operation, trimmed instead of left.
+				tr.Enter(tid)
+				for i := 0; i < ops/2; i++ {
+					if !churn() {
+						tr.Leave(tid)
+						return
+					}
+					tm.Trim(tid)
+				}
+				tr.Leave(tid)
+			}
+			// Enter/Leave mode with periodic mid-churn flushes.
+			for i := 0; i < ops/2; i++ {
+				tr.Enter(tid)
+				ok := churn()
+				tr.Leave(tid)
+				if !ok {
+					return
+				}
+				if isFlusher && i%256 == 255 {
+					fl.Flush(tid)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for e := range errc {
+		t.Fatal(e)
+	}
+
+	// Empty the structure so that, at quiescence, everything ever
+	// allocated is retire traffic the scheme must be able to reclaim.
+	for tid := 0; tid < threads; tid++ {
+		for k := 0; k < int(opts.KeySpace); k++ {
+			key := uint64(k)*uint64(threads) + uint64(tid)
+			enter(tr, tid)
+			m.Delete(tid, key)
+			leave(tr, tid)
+		}
+	}
+	if got := m.Len(); got != 0 {
+		t.Fatalf("Len = %d after full drain", got)
+	}
+	if isFlusher {
+		for pass := 0; pass < 3; pass++ {
+			for tid := 0; tid < threads; tid++ {
+				fl.Flush(tid)
+			}
+		}
+	}
+	st := tr.Stats()
+	slack := int64(512) + opts.LeakSlack
+	if un := st.Unreclaimed(); un > slack {
+		t.Fatalf("flush did not drain: %d nodes unreclaimed at quiescence (slack %d, stats %+v)",
+			un, slack, st)
+	}
+	// Every live arena node must be accounted for by the (empty-ish)
+	// structure, the pending retirements, or the tolerated leaks.
+	live := a.Live()
+	upper := st.Unreclaimed() + int64(structureNodeBound(0)) + opts.LeakSlack
+	if live > upper {
+		t.Fatalf("arena live=%d exceeds %d after drain (stats %+v)", live, upper, st)
 	}
 }
 

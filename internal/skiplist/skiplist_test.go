@@ -1,0 +1,134 @@
+package skiplist
+
+import (
+	"sort"
+	"testing"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/dstest"
+	"hyaline/internal/ptr"
+	"hyaline/internal/smr"
+	"hyaline/internal/trackers"
+)
+
+func factory(a *arena.Arena, tr smr.Tracker) dstest.Map {
+	return New(a, tr, 64)
+}
+
+func TestAllSchemes(t *testing.T) {
+	dstest.RunAll(t, factory, dstest.Options{KeySpace: 512})
+}
+
+func TestKeysStaySorted(t *testing.T) {
+	a := arena.New(1 << 12)
+	tr := trackers.MustNew("leaky", a, trackers.Config{MaxThreads: 1})
+	s := New(a, tr, 1)
+	// Insertion order deliberately scrambled.
+	for _, k := range []uint64{17, 3, 99, 4, 250, 1, 42, 8, 77} {
+		tr.Enter(0)
+		if !s.Insert(0, k, k) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+		tr.Leave(0)
+	}
+	keys := s.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("keys out of order: %v", keys)
+	}
+	if len(keys) != 9 {
+		t.Fatalf("Keys() returned %d keys", len(keys))
+	}
+}
+
+func TestTowerHeightDistribution(t *testing.T) {
+	a := arena.New(1 << 14)
+	tr := trackers.MustNew("leaky", a, trackers.Config{MaxThreads: 1})
+	s := New(a, tr, 1)
+	const n = 4096
+	for k := uint64(0); k < n; k++ {
+		tr.Enter(0)
+		s.Insert(0, k, k)
+		tr.Leave(0)
+	}
+	counts := make([]int, MaxHeight+1)
+	for k := uint64(0); k < n; k++ {
+		h := s.Height(k)
+		if h < 1 || h > MaxHeight {
+			t.Fatalf("key %d has height %d outside [1,%d]", k, h, MaxHeight)
+		}
+		counts[h]++
+	}
+	// Geometric(1/2): roughly half the towers stop at each level. Demand
+	// only the gross shape so the test is seed-independent.
+	if counts[1] < n/4 {
+		t.Fatalf("height-1 towers: %d of %d, want the bulk", counts[1], n)
+	}
+	if counts[2] == 0 || counts[3] == 0 {
+		t.Fatal("no multi-level towers built; upper links untested")
+	}
+	if counts[1] <= counts[3] {
+		t.Fatalf("height distribution not decreasing: %v", counts)
+	}
+}
+
+// TestDeleteDrainsAllLevels verifies the exactly-once retire protocol on
+// a pointer-based scheme: after deleting every key and flushing, every
+// tower — including the multi-level ones — must have been unlinked from
+// all of its levels and handed back to the arena.
+func TestDeleteDrainsAllLevels(t *testing.T) {
+	a := arena.New(1 << 12)
+	tr := trackers.MustNew("hp", a, trackers.Config{MaxThreads: 1})
+	s := New(a, tr, 1)
+	const n = 512
+	for k := uint64(0); k < n; k++ {
+		tr.Enter(0)
+		s.Insert(0, k, k*2)
+		tr.Leave(0)
+	}
+	for k := uint64(0); k < n; k++ {
+		tr.Enter(0)
+		if !s.Delete(0, k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+		tr.Leave(0)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", s.Len())
+	}
+	for level := 0; level < MaxHeight; level++ {
+		if w := s.head[level].Load(); !ptr.IsNil(w) {
+			t.Fatalf("head[%d] still links a node after full drain", level)
+		}
+	}
+	tr.(smr.Flusher).Flush(0)
+	st := tr.Stats()
+	if st.Unreclaimed() != 0 {
+		t.Fatalf("%d nodes unreclaimed after drain+flush (stats %+v)",
+			st.Unreclaimed(), st)
+	}
+	if live := a.Live(); live != 0 {
+		t.Fatalf("arena still holds %d live nodes", live)
+	}
+}
+
+// TestMaskRetiresOnce pins the protocol invariant the arena enforces by
+// panicking on double free: churn on few keys under a scheme that frees
+// eagerly must never retire a tower twice nor free one early.
+func TestMaskRetiresOnce(t *testing.T) {
+	a := arena.New(1 << 12)
+	tr := trackers.MustNew("hp", a, trackers.Config{MaxThreads: 1, ScanThreshold: 1})
+	s := New(a, tr, 1)
+	for i := 0; i < 5000; i++ {
+		k := uint64(i % 7)
+		tr.Enter(0)
+		s.Insert(0, k, k)
+		tr.Leave(0)
+		tr.Enter(0)
+		s.Delete(0, k)
+		tr.Leave(0)
+	}
+	tr.(smr.Flusher).Flush(0)
+	if live, ln := a.Live(), s.Len(); live != int64(ln) {
+		t.Fatalf("arena live %d != structure size %d", live, ln)
+	}
+}

@@ -76,3 +76,40 @@ func TestStatsUnreclaimed(t *testing.T) {
 		t.Fatalf("Unreclaimed = %d", s.Unreclaimed())
 	}
 }
+
+func TestDeallocConcurrentWithRetireTraffic(t *testing.T) {
+	// Mixed workload: some threads run alloc→retire→free cycles, others
+	// pure alloc→dealloc (speculative CAS losers). Dealloc counts as
+	// retired-and-freed at once, so the sums must balance exactly and
+	// Unreclaimed must come out zero.
+	const (
+		threads = 8
+		ops     = 5000
+	)
+	c := NewCounters(threads)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				c.Alloc(tid)
+				if tid%2 == 0 {
+					c.Dealloc(tid)
+				} else {
+					c.Retire(tid)
+					c.Free(tid, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Sum()
+	want := Stats{Allocated: threads * ops, Retired: threads * ops, Freed: threads * ops}
+	if s != want {
+		t.Fatalf("Sum = %+v, want %+v", s, want)
+	}
+	if s.Unreclaimed() != 0 {
+		t.Fatalf("Unreclaimed = %d, want 0", s.Unreclaimed())
+	}
+}

@@ -62,10 +62,15 @@ func Reclaiming() []string {
 	return out
 }
 
-// New constructs the named tracker over a.
+// New constructs the named tracker over a. MaxThreads must be positive
+// and Slots non-negative; a Slots value that is not a power of two is
+// rounded up by the Hyaline variants (§3.2 requires a power of two).
 func New(name string, a *arena.Arena, cfg Config) (smr.Tracker, error) {
 	if cfg.MaxThreads <= 0 {
 		return nil, fmt.Errorf("trackers: MaxThreads must be positive, got %d", cfg.MaxThreads)
+	}
+	if cfg.Slots < 0 {
+		return nil, fmt.Errorf("trackers: Slots must be non-negative, got %d", cfg.Slots)
 	}
 	switch name {
 	case "leaky":

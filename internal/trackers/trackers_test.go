@@ -1,9 +1,11 @@
 package trackers
 
 import (
+	"strings"
 	"testing"
 
 	"hyaline/internal/arena"
+	"hyaline/internal/smr"
 )
 
 func TestNamesStable(t *testing.T) {
@@ -53,11 +55,92 @@ func TestNewConstructsEveryScheme(t *testing.T) {
 
 func TestNewRejectsBadInput(t *testing.T) {
 	a := arena.New(16)
-	if _, err := New("bogus", a, Config{MaxThreads: 1}); err == nil {
-		t.Fatal("unknown scheme accepted")
+	if _, err := New("bogus", a, Config{MaxThreads: 1}); err == nil ||
+		!strings.Contains(err.Error(), "hyaline-1s") {
+		t.Fatalf("unknown-scheme error must list the known names, got %v", err)
 	}
-	if _, err := New("epoch", a, Config{}); err == nil {
-		t.Fatal("zero MaxThreads accepted")
+	for _, name := range Names() {
+		if _, err := New(name, a, Config{}); err == nil {
+			t.Fatalf("%s: zero MaxThreads accepted", name)
+		}
+		if _, err := New(name, a, Config{MaxThreads: -3}); err == nil {
+			t.Fatalf("%s: negative MaxThreads accepted", name)
+		}
+		if _, err := New(name, a, Config{MaxThreads: 1, Slots: -8}); err == nil {
+			t.Fatalf("%s: negative Slots accepted", name)
+		}
+	}
+}
+
+func TestOddSlotsRoundToPowerOfTwo(t *testing.T) {
+	// §3.2's wrap-around counter arithmetic needs k to be a power of two;
+	// an odd request must be rounded up, never used verbatim.
+	a := arena.New(1 << 10)
+	type slotted interface{ Slots() int }
+	for requested, want := range map[int]int{3: 4, 5: 8, 7: 8, 9: 16} {
+		tr := MustNew("hyaline", a, Config{MaxThreads: 1, Slots: requested})
+		s, ok := tr.(slotted)
+		if !ok {
+			t.Fatal("hyaline tracker must expose Slots()")
+		}
+		if s.Slots() != want {
+			t.Fatalf("Slots %d rounded to %d, want %d", requested, s.Slots(), want)
+		}
+	}
+}
+
+// TestDeallocAccountingAllSchemes pins the Dealloc contract on every
+// registered scheme: a never-published node is retired-and-freed at
+// once, so Unreclaimed stays zero and the node returns to the arena
+// immediately (no limbo list involved).
+func TestDeallocAccountingAllSchemes(t *testing.T) {
+	const rounds = 100
+	for _, name := range Names() {
+		a := arena.New(1 << 10)
+		tr := MustNew(name, a, Config{MaxThreads: 2})
+		tr.Enter(0)
+		for i := 0; i < rounds; i++ {
+			tr.Dealloc(0, tr.Alloc(0))
+		}
+		tr.Leave(0)
+		st := tr.Stats()
+		want := smr.Stats{Allocated: rounds, Retired: rounds, Freed: rounds}
+		if st != want {
+			t.Fatalf("%s: stats %+v, want %+v", name, st, want)
+		}
+		if st.Unreclaimed() != 0 {
+			t.Fatalf("%s: Unreclaimed = %d after pure dealloc traffic", name, st.Unreclaimed())
+		}
+		if live := a.Live(); live != 0 {
+			t.Fatalf("%s: %d arena nodes still live (Dealloc must free directly)", name, live)
+		}
+	}
+}
+
+// TestRetireAccountingAllSchemes checks the other half of the ledger:
+// retired nodes count as unreclaimed until the scheme actually frees
+// them, and the tracker's view never disagrees with the arena's.
+func TestRetireAccountingAllSchemes(t *testing.T) {
+	const rounds = 64
+	for _, name := range Names() {
+		a := arena.New(1 << 10)
+		tr := MustNew(name, a, Config{MaxThreads: 2})
+		tr.Enter(0)
+		for i := 0; i < rounds; i++ {
+			tr.Retire(0, tr.Alloc(0))
+		}
+		tr.Leave(0)
+		st := tr.Stats()
+		if st.Allocated != rounds || st.Retired != rounds {
+			t.Fatalf("%s: stats %+v after %d retire rounds", name, st, rounds)
+		}
+		if un := st.Unreclaimed(); un != rounds-st.Freed {
+			t.Fatalf("%s: Unreclaimed = %d, want Retired-Freed = %d", name, un, rounds-st.Freed)
+		}
+		if live := a.Live(); live != st.Unreclaimed() {
+			t.Fatalf("%s: arena live %d != unreclaimed %d (ledgers disagree)",
+				name, live, st.Unreclaimed())
+		}
 	}
 }
 
