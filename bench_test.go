@@ -200,3 +200,14 @@ func BenchmarkFig13HashMapWrite(b *testing.B) { throughputFigure(b, "hashmap", b
 func BenchmarkFig14HashMapWrite(b *testing.B) { unreclaimedFigure(b, "hashmap", bench.WriteHeavy) }
 func BenchmarkFig15HashMapRead(b *testing.B)  { throughputFigure(b, "hashmap", bench.ReadMostly) }
 func BenchmarkFig16HashMapRead(b *testing.B)  { unreclaimedFigure(b, "hashmap", bench.ReadMostly) }
+
+// Figures 17/18 (reproduction extension): the scan mix over the ordered
+// structures. Range scans pin node chains for their whole traversal, so
+// the unreclaimed rows separate the schemes hardest here.
+func BenchmarkFig17aList(b *testing.B)      { throughputFigure(b, "list", bench.ScanMix) }
+func BenchmarkFig17dNatarajan(b *testing.B) { throughputFigure(b, "natarajan", bench.ScanMix) }
+func BenchmarkFig17eSkipList(b *testing.B)  { throughputFigure(b, "skiplist", bench.ScanMix) }
+
+func BenchmarkFig18aList(b *testing.B)      { unreclaimedFigure(b, "list", bench.ScanMix) }
+func BenchmarkFig18dNatarajan(b *testing.B) { unreclaimedFigure(b, "natarajan", bench.ScanMix) }
+func BenchmarkFig18eSkipList(b *testing.B)  { unreclaimedFigure(b, "skiplist", bench.ScanMix) }

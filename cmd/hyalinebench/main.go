@@ -48,7 +48,9 @@ func run(args []string) error {
 
 		structure = fs.String("structure", "", "single run: data structure (list|hashmap|bonsai|natarajan|skiplist)")
 		scheme    = fs.String("scheme", "", "single run: reclamation scheme")
-		workload  = fs.String("workload", "write", "workload mix: write (50i/50d) or read (90g/10p)")
+		workload  = fs.String("workload", "write", "workload mix: write (50i/50d), read (90g/10p) or scan (10i/10d/10r/70g)")
+		rangePct  = fs.Int("range", 0, "single run: percentage of operations that are range scans (ordered structures only; carved from the get share)")
+		rangeSpan = fs.Uint64("rangespan", 128, "single run: key width of one range scan")
 		trim      = fs.Bool("trim", false, "single run: use Hyaline trim (§3.3)")
 		slots     = fs.Int("slots", 0, "Hyaline slot cap k (0 = next pow2 of cores)")
 		prefill   = fs.Int("prefill", 50_000, "prefill element count")
@@ -72,6 +74,7 @@ func run(args []string) error {
 		return runSingle(singleConfig{
 			structure: *structure, scheme: *scheme, threads: *threads,
 			stalled: *stalled, duration: *duration, workload: *workload,
+			rangePct: *rangePct, rangeSpan: *rangeSpan,
 			trim: *trim, slots: *slots, prefill: *prefill,
 			keyrange: *keyrange, arenaCap: *arenaCap,
 		})
@@ -169,15 +172,33 @@ type singleConfig struct {
 	structure, scheme, workload string
 	threads, stalled, slots     int
 	prefill, arenaCap           int
-	keyrange                    uint64
+	rangePct                    int
+	rangeSpan, keyrange         uint64
 	duration                    time.Duration
 	trim                        bool
 }
 
 func runSingle(c singleConfig) error {
 	wl := bench.WriteHeavy
-	if strings.HasPrefix(c.workload, "read") {
+	switch {
+	case strings.HasPrefix(c.workload, "read"):
 		wl = bench.ReadMostly
+	case strings.HasPrefix(c.workload, "scan"):
+		wl = bench.ScanMix
+	}
+	if c.rangePct < 0 || c.rangePct > 100 {
+		return fmt.Errorf("-range %d%% outside [0, 100]", c.rangePct)
+	}
+	if c.rangePct > 0 {
+		// Scans take their share from the gets first; if the mutation
+		// percentages no longer fit, shrink insert/delete proportionally
+		// so the mix still sums to 100.
+		wl.RangePct = c.rangePct
+		if over := wl.InsertPct + wl.DeletePct + wl.RangePct - 100; over > 0 {
+			wl.InsertPct -= over / 2
+			wl.DeletePct -= over - over/2
+		}
+		wl.GetPct = 100 - wl.InsertPct - wl.DeletePct - wl.RangePct
 	}
 	res, err := bench.Run(bench.Config{
 		Structure: c.structure,
@@ -186,6 +207,7 @@ func runSingle(c singleConfig) error {
 		Stalled:   c.stalled,
 		Duration:  c.duration,
 		Workload:  wl,
+		RangeSpan: c.rangeSpan,
 		Trim:      c.trim,
 		Prefill:   c.prefill,
 		KeyRange:  c.keyrange,
@@ -198,5 +220,9 @@ func runSingle(c singleConfig) error {
 	fmt.Println(res)
 	fmt.Printf("  ops=%d max-unreclaimed=%d stats=%+v\n",
 		res.Ops, res.MaxUnreclaimed, res.FinalStats)
+	if res.ScannedKeys > 0 {
+		fmt.Printf("  range scans visited %d keys (%.2f Mkeys/s)\n",
+			res.ScannedKeys, float64(res.ScannedKeys)/res.Duration.Seconds()/1e6)
+	}
 	return nil
 }

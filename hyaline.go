@@ -56,8 +56,11 @@ type (
 	Arena = arena.Arena
 	// Node is one block of the arena.
 	Node = arena.Node
-	// Map is the common interface of the four benchmark structures.
+	// Map is the common interface of the benchmark structures.
 	Map = ds.Map
+	// Ranger is a Map that additionally supports ordered range scans
+	// (the ordered structures: list, natarajan, skiplist).
+	Ranger = ds.Ranger
 	// Options carries per-scheme tuning; zero values pick defaults.
 	Options = trackers.Config
 
@@ -92,6 +95,11 @@ func Structures() []string { return ds.Names() }
 // Supports reports whether structure runs under scheme (the Bonsai tree
 // excludes HP and HE, as in the paper).
 func Supports(structure, scheme string) bool { return ds.Supports(structure, scheme) }
+
+// SupportsRange reports whether structure implements Ranger: lock-free
+// ordered range scans over [lo, hi]. Scans are not atomic snapshots;
+// they guarantee sorted, duplicate-free, bounded output.
+func SupportsRange(structure string) bool { return ds.SupportsRange(structure) }
 
 // Bench runs one benchmark configuration through the paper's harness.
 func Bench(cfg BenchConfig) (BenchResult, error) { return bench.Run(cfg) }

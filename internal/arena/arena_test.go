@@ -2,6 +2,7 @@ package arena
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -106,6 +107,36 @@ func TestLinkWords(t *testing.T) {
 		if got := n.Link(lvl).Load(); got != Poison {
 			t.Fatalf("Link(%d) = %#x after Free, want poison", lvl, got)
 		}
+	}
+}
+
+// TestLinkOutOfRangePanics pins the Link contract at its edges: the
+// valid levels 0..MaxLinks-1 address MaxLinks distinct words, and any
+// level outside that range panics instead of silently aliasing a
+// neighbouring node's memory.
+func TestLinkOutOfRangePanics(t *testing.T) {
+	a := New(4)
+	n := a.Node(a.Alloc(0))
+
+	seen := map[*atomic.Uint64]int{}
+	for lvl := 0; lvl < MaxLinks; lvl++ {
+		w := n.Link(lvl)
+		if prev, dup := seen[w]; dup {
+			t.Fatalf("Link(%d) and Link(%d) share a word", prev, lvl)
+		}
+		seen[w] = lvl
+	}
+
+	mustPanic := func(lvl int) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Link(%d) must panic", lvl)
+			}
+		}()
+		n.Link(lvl)
+	}
+	for _, lvl := range []int{MaxLinks, MaxLinks + 1, 100, -1} {
+		mustPanic(lvl)
 	}
 }
 

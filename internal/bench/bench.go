@@ -25,23 +25,35 @@ import (
 	"hyaline/internal/trackers"
 )
 
-// Workload is an operation mix in percent.
+// Workload is an operation mix in percent. Operations not covered by
+// the insert/delete/range percentages are gets, so GetPct is
+// informational.
 type Workload struct {
 	InsertPct int
 	DeletePct int
 	GetPct    int
+	// RangePct is the share of operations that are range scans (ds.Ranger);
+	// only the ordered structures support it (ds.SupportsRange).
+	RangePct int
 }
 
-// The paper's two workloads.
+// The paper's two workloads, plus the scan mix this reproduction adds.
 var (
 	// WriteHeavy is the §6 write-intensive mix (50% insert, 50% delete).
 	WriteHeavy = Workload{InsertPct: 50, DeletePct: 50}
 	// ReadMostly is the Appendix A mix (90% get, 10% put split evenly).
 	ReadMostly = Workload{InsertPct: 5, DeletePct: 5, GetPct: 90}
+	// ScanMix stresses reclamation with long-lived readers: range scans
+	// pin chains of nodes for the whole traversal, which is where the
+	// schemes' unreclaimed-garbage behaviour diverges most.
+	ScanMix = Workload{InsertPct: 10, DeletePct: 10, GetPct: 70, RangePct: 10}
 )
 
 // Name returns the figure-caption name of the workload.
 func (w Workload) Name() string {
+	if w.RangePct > 0 {
+		return "scan-mix"
+	}
 	if w.GetPct >= 50 {
 		return "read-mostly"
 	}
@@ -67,6 +79,9 @@ type Config struct {
 	KeyRange uint64
 	// Workload is the operation mix. Default WriteHeavy.
 	Workload Workload
+	// RangeSpan is the key width of one range scan (hi = lo + RangeSpan)
+	// when the workload has a RangePct. Default 128.
+	RangeSpan uint64
 	// Trim replaces per-operation leave/enter with Hyaline's trim (§3.3,
 	// Figure 10b). Only Hyaline variants support it.
 	Trim bool
@@ -94,6 +109,9 @@ func (c *Config) fill() {
 	if c.Workload == (Workload{}) {
 		c.Workload = WriteHeavy
 	}
+	if c.RangeSpan == 0 {
+		c.RangeSpan = 128
+	}
 	if c.ArenaCap == 0 {
 		c.ArenaCap = 1 << 25 // 32M nodes of virtual headroom
 	}
@@ -112,6 +130,7 @@ type Result struct {
 	Duration  time.Duration
 
 	Ops            int64
+	ScannedKeys    int64   // keys visited by range scans (scan-mix only)
 	ThroughputMops float64 // million operations per second
 	AvgUnreclaimed float64 // time-averaged retired-but-not-freed nodes
 	MaxUnreclaimed int64
@@ -135,7 +154,6 @@ func Run(cfg Config) (Result, error) {
 		cfg.Scheme != "hyaline-s" && cfg.Scheme != "hyaline-1s" {
 		return Result{}, fmt.Errorf("bench: trim applies only to Hyaline variants, not %s", cfg.Scheme)
 	}
-
 	total := cfg.Threads + cfg.Stalled
 	tcfg := cfg.Tracker
 	tcfg.MaxThreads = total
@@ -152,15 +170,21 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// Checked after New so that an unknown structure name still gets the
+	// descriptive registry error instead of a range-support complaint.
+	if cfg.Workload.RangePct > 0 && !ds.SupportsRange(cfg.Structure) {
+		return Result{}, fmt.Errorf("bench: %s does not support range scans (ordered structures only)", cfg.Structure)
+	}
 
 	prefill(tr, m, cfg)
 
 	var (
-		stop    atomic.Bool
-		started sync.WaitGroup
-		done    sync.WaitGroup
-		release = make(chan struct{})
-		opCount = make([]paddedCounter, total)
+		stop      atomic.Bool
+		started   sync.WaitGroup
+		done      sync.WaitGroup
+		release   = make(chan struct{})
+		opCount   = make([]paddedCounter, total)
+		scanCount = make([]paddedCounter, total)
 	)
 
 	// Stalled workers: enter, dereference the structure once (so
@@ -195,6 +219,8 @@ func Run(cfg Config) (Result, error) {
 			<-release
 
 			trimmer, _ := tr.(smr.Trimmer)
+			ranger, _ := m.(ds.Ranger)
+			var scanned int64 // keeps the scan body from being a no-op
 			if cfg.Trim {
 				tr.Enter(tid)
 			}
@@ -210,6 +236,11 @@ func Run(cfg Config) (Result, error) {
 					m.Insert(tid, key, key*31+7)
 				case mix < cfg.Workload.InsertPct+cfg.Workload.DeletePct:
 					m.Delete(tid, key)
+				case mix < cfg.Workload.InsertPct+cfg.Workload.DeletePct+cfg.Workload.RangePct:
+					ranger.Range(tid, key, key+cfg.RangeSpan, func(_, _ uint64) bool {
+						scanned++
+						return true
+					})
 				default:
 					m.Get(tid, key)
 				}
@@ -224,6 +255,7 @@ func Run(cfg Config) (Result, error) {
 				tr.Leave(tid)
 			}
 			opCount[tid].v.Store(ops)
+			scanCount[tid].v.Store(scanned)
 		}(w)
 	}
 
@@ -260,9 +292,10 @@ sampling:
 	done.Wait()
 	elapsed := time.Since(start)
 
-	var ops int64
+	var ops, scannedKeys int64
 	for i := range opCount {
 		ops += opCount[i].v.Load()
+		scannedKeys += scanCount[i].v.Load()
 	}
 	avg := 0.0
 	if samples > 0 {
@@ -276,6 +309,7 @@ sampling:
 		Workload:       cfg.Workload.Name(),
 		Duration:       elapsed,
 		Ops:            ops,
+		ScannedKeys:    scannedKeys,
 		ThroughputMops: float64(ops) / elapsed.Seconds() / 1e6,
 		AvgUnreclaimed: avg,
 		MaxUnreclaimed: maxUn,

@@ -36,6 +36,67 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+func TestRunScanMix(t *testing.T) {
+	for _, structure := range ds.Names() {
+		if !ds.SupportsRange(structure) {
+			// Unordered structures must reject the scan mix up front.
+			_, err := Run(Config{
+				Structure: structure,
+				Scheme:    "epoch",
+				Threads:   2,
+				Duration:  10 * time.Millisecond,
+				Workload:  ScanMix,
+			})
+			if err == nil {
+				t.Fatalf("%s accepted a range workload", structure)
+			}
+			continue
+		}
+		res, err := Run(Config{
+			Structure: structure,
+			Scheme:    "hyaline",
+			Threads:   4,
+			Duration:  50 * time.Millisecond,
+			Prefill:   2000,
+			KeyRange:  4000,
+			Workload:  ScanMix,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", structure, err)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("%s: zero ops", structure)
+		}
+		if res.ScannedKeys == 0 {
+			t.Fatalf("%s: scan mix visited zero keys", structure)
+		}
+		if res.Workload != "scan-mix" {
+			t.Fatalf("%s: workload reported as %q", structure, res.Workload)
+		}
+	}
+}
+
+func TestScanFiguresRegistered(t *testing.T) {
+	for _, id := range []string{"17a", "17d", "17e", "18a", "18d", "18e"} {
+		f, err := FigureByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Workload.RangePct == 0 {
+			t.Fatalf("figure %s has no range share", id)
+		}
+		if !ds.SupportsRange(f.Structure) {
+			t.Fatalf("figure %s targets unrangeable %s", id, f.Structure)
+		}
+	}
+	// The unordered structures must not appear in the scan figures.
+	for _, id := range []string{"17b", "17c", "18b", "18c"} {
+		if _, err := FigureByID(id); err == nil {
+			t.Fatalf("figure %s exists for an unrangeable structure", id)
+		}
+	}
+}
+
 func TestRunWithStalledThreads(t *testing.T) {
 	res, err := Run(Config{
 		Structure: "hashmap",

@@ -137,6 +137,30 @@ func AllFigures() []Figure {
 	add("14", "unreclaimed", WriteHeavy, "ppc-substituted")
 	add("15", "throughput", ReadMostly, "ppc-substituted")
 	add("16", "unreclaimed", ReadMostly, "ppc-substituted")
+	// Figures 17/18 are reproduction extensions beyond the paper: the
+	// scan-mix workload over the ordered structures (ds.SupportsRange).
+	// Range scans pin long chains of nodes for the whole traversal, so
+	// these rows are where the schemes' unreclaimed-garbage behaviour
+	// diverges most.
+	addScan := func(num, metric string) {
+		for _, s := range structures {
+			if !ds.SupportsRange(s.name) {
+				continue
+			}
+			figs = append(figs, Figure{
+				ID: num + s.suffix,
+				Caption: fmt.Sprintf("x86-64: %s %s, %s workload (reproduction extension)",
+					s.name, metric, ScanMix.Name()),
+				Structure: s.name,
+				Workload:  ScanMix,
+				Metric:    metric,
+				Sweep:     "threads",
+				Curves:    standardCurves(s.name),
+			})
+		}
+	}
+	addScan("17", "throughput")
+	addScan("18", "unreclaimed")
 	return figs
 }
 

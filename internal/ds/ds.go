@@ -16,7 +16,7 @@ import (
 	"hyaline/internal/smr"
 )
 
-// Map is the common shape of all four benchmark structures.
+// Map is the common shape of all benchmark structures.
 type Map interface {
 	// Insert adds key→val, failing if the key exists.
 	Insert(tid int, key, val uint64) bool
@@ -28,37 +28,87 @@ type Map interface {
 	Len() int
 }
 
-// Names returns the registered structure names.
+// Ranger is the optional range-scan extension implemented by the ordered
+// structures (see SupportsRange). Range visits every key in [lo, hi] in
+// ascending order, calling fn(key, val) for each until fn returns false
+// or the range is exhausted. The caller must wrap the call in
+// Enter/Leave, like any other operation.
+//
+// A scan is lock-free and reclamation-safe but NOT an atomic snapshot:
+// keys inserted or deleted while the scan is in flight may or may not be
+// observed. What is guaranteed is that the visited keys are strictly
+// increasing (hence duplicate-free), bounded by [lo, hi], and that a key
+// present for the whole duration of the scan is observed.
+type Ranger interface {
+	Map
+	Range(tid int, lo, hi uint64, fn func(key, val uint64) bool)
+}
+
+// entry is one registered structure.
+type entry struct {
+	// build constructs the structure over a and tr for maxThreads.
+	build func(a *arena.Arena, tr smr.Tracker, maxThreads int) Map
+	// ranged marks structures whose Map also implements Ranger.
+	ranged bool
+	// excluded lists reclamation schemes the structure cannot run under.
+	excluded map[string]bool
+}
+
+// registry holds every benchmark structure; Names, Supports,
+// SupportsRange and New all derive from it, so adding a structure here
+// is the single step that registers it everywhere.
+var registry = map[string]entry{
+	"list": {
+		build:  func(a *arena.Arena, tr smr.Tracker, _ int) Map { return list.New(a, tr) },
+		ranged: true,
+	},
+	"hashmap": {
+		build: func(a *arena.Arena, tr smr.Tracker, _ int) Map { return hashmap.New(a, tr, 0) },
+	},
+	"bonsai": {
+		build: func(a *arena.Arena, tr smr.Tracker, maxThreads int) Map { return bonsai.New(a, tr, maxThreads) },
+		// As in the paper, the Bonsai tree is not implemented for the
+		// pointer-based schemes (HP, HE).
+		excluded: map[string]bool{"hp": true, "he": true},
+	},
+	"natarajan": {
+		build:  func(a *arena.Arena, tr smr.Tracker, _ int) Map { return natarajan.New(a, tr) },
+		ranged: true,
+	},
+	"skiplist": {
+		build:  func(a *arena.Arena, tr smr.Tracker, maxThreads int) Map { return skiplist.New(a, tr, maxThreads) },
+		ranged: true,
+	},
+}
+
+// Names returns the registered structure names, sorted.
 func Names() []string {
-	names := []string{"list", "hashmap", "bonsai", "natarajan", "skiplist"}
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
 	sort.Strings(names)
 	return names
 }
 
 // Supports reports whether the named structure runs under the named
-// scheme. As in the paper, the Bonsai tree is not implemented for the
-// pointer-based schemes (HP, HE).
+// scheme. Unknown structures report true so that the descriptive
+// "unknown structure" error surfaces from New instead.
 func Supports(structure, scheme string) bool {
-	if structure == "bonsai" && (scheme == "hp" || scheme == "he") {
-		return false
-	}
-	return true
+	return !registry[structure].excluded[scheme]
+}
+
+// SupportsRange reports whether the named structure implements Ranger.
+// The unordered hashmap and the snapshot-replacing Bonsai tree do not.
+func SupportsRange(structure string) bool {
+	return registry[structure].ranged
 }
 
 // New constructs the named structure over a and tr for maxThreads.
 func New(structure string, a *arena.Arena, tr smr.Tracker, maxThreads int) (Map, error) {
-	switch structure {
-	case "list":
-		return list.New(a, tr), nil
-	case "hashmap":
-		return hashmap.New(a, tr, 0), nil
-	case "bonsai":
-		return bonsai.New(a, tr, maxThreads), nil
-	case "natarajan":
-		return natarajan.New(a, tr), nil
-	case "skiplist":
-		return skiplist.New(a, tr, maxThreads), nil
-	default:
+	e, ok := registry[structure]
+	if !ok {
 		return nil, fmt.Errorf("ds: unknown structure %q (known: %v)", structure, Names())
 	}
+	return e.build(a, tr, maxThreads), nil
 }

@@ -11,6 +11,11 @@ func TestRegistry(t *testing.T) {
 	if len(Names()) != 5 {
 		t.Fatalf("structures: %v", Names())
 	}
+	for i := 1; i < len(Names()); i++ {
+		if Names()[i-1] >= Names()[i] {
+			t.Fatalf("Names not sorted: %v", Names())
+		}
+	}
 	a := arena.New(1 << 12)
 	tr := trackers.MustNew("epoch", a, trackers.Config{MaxThreads: 2})
 	for _, name := range Names() {
@@ -35,6 +40,39 @@ func TestRegistry(t *testing.T) {
 	}
 }
 
+// TestNewEveryNameSchemePair constructs and smoke-tests every structure
+// under every scheme the Supports matrix allows — the registry cannot
+// silently drift from the tracker registry without this failing.
+func TestNewEveryNameSchemePair(t *testing.T) {
+	for _, name := range Names() {
+		for _, scheme := range trackers.Names() {
+			if !Supports(name, scheme) {
+				continue
+			}
+			a := arena.New(1 << 12)
+			tr, err := trackers.New(scheme, a, trackers.Config{MaxThreads: 2})
+			if err != nil {
+				t.Fatalf("trackers.New(%q): %v", scheme, err)
+			}
+			m, err := New(name, a, tr, 2)
+			if err != nil {
+				t.Fatalf("New(%q) under %q: %v", name, scheme, err)
+			}
+			tr.Enter(0)
+			if !m.Insert(0, 3, 4) {
+				t.Fatalf("%s/%s: insert failed", name, scheme)
+			}
+			if v, ok := m.Get(0, 3); !ok || v != 4 {
+				t.Fatalf("%s/%s: get = (%d,%v)", name, scheme, v, ok)
+			}
+			if !m.Delete(0, 3) {
+				t.Fatalf("%s/%s: delete failed", name, scheme)
+			}
+			tr.Leave(0)
+		}
+	}
+}
+
 func TestSupportsMatrix(t *testing.T) {
 	for _, structure := range Names() {
 		for _, scheme := range trackers.Names() {
@@ -44,5 +82,33 @@ func TestSupportsMatrix(t *testing.T) {
 				t.Fatalf("Supports(%s,%s) = %v", structure, scheme, got)
 			}
 		}
+	}
+	// Unknown structures claim support so that New reports the error.
+	if !Supports("bogus", "epoch") {
+		t.Fatal("unknown structure must fall through to New's error")
+	}
+}
+
+// TestSupportsRangeMatchesImplementation pins SupportsRange to what the
+// constructed Map actually implements: registry drift in either
+// direction fails here.
+func TestSupportsRangeMatchesImplementation(t *testing.T) {
+	a := arena.New(1 << 12)
+	tr := trackers.MustNew("epoch", a, trackers.Config{MaxThreads: 2})
+	ranged := map[string]bool{"list": true, "natarajan": true, "skiplist": true}
+	for _, name := range Names() {
+		if got := SupportsRange(name); got != ranged[name] {
+			t.Fatalf("SupportsRange(%s) = %v, want %v", name, got, ranged[name])
+		}
+		m, err := New(name, a, tr, 2)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if _, ok := m.(Ranger); ok != SupportsRange(name) {
+			t.Fatalf("%s: implements Ranger=%v but SupportsRange=%v", name, ok, SupportsRange(name))
+		}
+	}
+	if SupportsRange("bogus") {
+		t.Fatal("unknown structure claims range support")
 	}
 }

@@ -3,8 +3,10 @@
 // and is exercised under every reclamation scheme it supports: against a
 // sequential reference model, under concurrent churn with use-after-free
 // detection (value-invariant violations would expose recycled nodes),
-// and through the Flush/Trim sub-interfaces with a quiescent drain
-// check.
+// through the Flush/Trim sub-interfaces with a quiescent drain check,
+// and — for structures implementing Ranger — under concurrent range
+// scans that must stay sorted, duplicate-free and bounded while inserts
+// and deletes churn around them.
 package dstest
 
 import (
@@ -12,6 +14,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"hyaline/internal/arena"
@@ -25,6 +28,13 @@ type Map interface {
 	Delete(tid int, key uint64) bool
 	Get(tid int, key uint64) (uint64, bool)
 	Len() int
+}
+
+// Ranger is the optional range-scan extension (mirrors ds.Ranger).
+// Structures whose Map does not implement it skip the RangeScan phase.
+type Ranger interface {
+	Map
+	Range(tid int, lo, hi uint64, fn func(key, val uint64) bool)
 }
 
 // Factory builds a fresh structure over the given arena and tracker.
@@ -80,6 +90,7 @@ func RunAll(t *testing.T, f Factory, opts Options) {
 			t.Run("ReferenceModel", func(t *testing.T) { ReferenceModel(t, f, scheme) })
 			t.Run("ConcurrentChurn", func(t *testing.T) { ConcurrentChurn(t, f, scheme, opts) })
 			t.Run("FlushTrim", func(t *testing.T) { FlushTrim(t, f, scheme, opts) })
+			t.Run("RangeScan", func(t *testing.T) { RangeScan(t, f, scheme, opts) })
 		})
 	}
 }
@@ -430,6 +441,204 @@ func FlushTrim(t *testing.T, f Factory, scheme string, opts Options) {
 	upper := st.Unreclaimed() + int64(structureNodeBound(0)) + opts.LeakSlack
 	if live > upper {
 		t.Fatalf("arena live=%d exceeds %d after drain (stats %+v)", live, upper, st)
+	}
+}
+
+// RangeScan exercises the Ranger extension under churn. Half the
+// threads insert and delete on private key stripes while the other half
+// run range scans over random windows. Every scan — even one observed
+// mid-churn — must be strictly increasing (hence sorted and
+// duplicate-free), bounded by [lo, hi], and carry the checksum value
+// invariant (a violation exposes a recycled node). A set of anchor keys
+// on a stripe no churner touches is inserted up front and never removed:
+// a sound scan must observe every anchor inside its window, which
+// catches traversals that skip live portions of the structure after a
+// retry or a helped unlink. At quiescence, a full-range scan must agree
+// exactly with the union of the per-thread models. Structures that do
+// not implement Ranger skip the phase.
+func RangeScan(t *testing.T, f Factory, scheme string, opts Options) {
+	a := arena.New(opts.ArenaCap)
+	threads := runtime.GOMAXPROCS(0)
+	if threads < 4 {
+		threads = 4
+	}
+	if threads > 8 {
+		threads = 8
+	}
+	tr := newTracker(t, scheme, a, threads)
+	m := f(a, tr)
+	r, ok := m.(Ranger)
+	if !ok {
+		t.Skipf("structure does not implement Range")
+	}
+
+	churners := threads / 2
+	scanners := threads - churners
+	// Keys j*stride + c for c < churners are churner c's stripe; residue
+	// churners is the anchor stripe, which no churner ever touches.
+	stride := uint64(churners + 1)
+	maxKey := opts.KeySpace * stride // exclusive upper bound of the key span
+
+	// Anchors: inserted once, never deleted, so every scan must see them.
+	anchorEvery := uint64(8)
+	anchors := make([]uint64, 0, opts.KeySpace/anchorEvery+1)
+	for j := uint64(0); j < opts.KeySpace; j += anchorEvery {
+		key := j*stride + uint64(churners)
+		enter(tr, 0)
+		if !m.Insert(0, key, checksum(key)) {
+			t.Fatalf("anchor Insert(%d) failed", key)
+		}
+		leave(tr, 0)
+		anchors = append(anchors, key)
+	}
+
+	var (
+		done    atomic.Bool
+		churnWg sync.WaitGroup
+		scanWg  sync.WaitGroup
+		errc    = make(chan string, threads)
+		models  = make([]map[uint64]bool, churners)
+	)
+	for w := 0; w < churners; w++ {
+		churnWg.Add(1)
+		go func(tid int) {
+			defer churnWg.Done()
+			rng := rand.New(rand.NewSource(int64(tid) + 7))
+			model := map[uint64]bool{}
+			models[tid] = model
+			for i := 0; i < opts.OpsPerThread; i++ {
+				key := uint64(rng.Intn(int(opts.KeySpace)))*stride + uint64(tid)
+				enter(tr, tid)
+				if rng.Intn(2) == 0 {
+					got := m.Insert(tid, key, checksum(key))
+					if got == model[key] {
+						errc <- fmt.Sprintf("tid %d: Insert(%d)=%v but model says %v", tid, key, got, model[key])
+						leave(tr, tid)
+						return
+					}
+					model[key] = true
+				} else {
+					got := m.Delete(tid, key)
+					if got != model[key] {
+						errc <- fmt.Sprintf("tid %d: Delete(%d)=%v but model says %v", tid, key, got, model[key])
+						leave(tr, tid)
+						return
+					}
+					model[key] = false
+				}
+				leave(tr, tid)
+			}
+		}(w)
+	}
+
+	// checkScan validates one observation sequence against the invariants
+	// every scan must satisfy, churn or no churn.
+	type kv struct{ k, v uint64 }
+	checkScan := func(lo, hi uint64, got []kv) string {
+		for i, e := range got {
+			if e.k < lo || e.k > hi {
+				return fmt.Sprintf("scan [%d,%d] observed out-of-range key %d", lo, hi, e.k)
+			}
+			if i > 0 && got[i-1].k >= e.k {
+				return fmt.Sprintf("scan [%d,%d] not strictly increasing: %d then %d", lo, hi, got[i-1].k, e.k)
+			}
+			if e.v != checksum(e.k) {
+				return fmt.Sprintf("scan [%d,%d] key %d carries value %d, want %d (use-after-free?)", lo, hi, e.k, e.v, checksum(e.k))
+			}
+		}
+		// Every anchor inside the window must have been observed.
+		seen := make(map[uint64]bool, len(got))
+		for _, e := range got {
+			seen[e.k] = true
+		}
+		for _, ak := range anchors {
+			if ak >= lo && ak <= hi && !seen[ak] {
+				return fmt.Sprintf("scan [%d,%d] missed anchor key %d (always present)", lo, hi, ak)
+			}
+		}
+		return ""
+	}
+
+	for w := 0; w < scanners; w++ {
+		scanWg.Add(1)
+		go func(tid int) {
+			defer scanWg.Done()
+			rng := rand.New(rand.NewSource(int64(tid) + 1001))
+			buf := make([]kv, 0, 256)
+			for scans := 0; !done.Load() || scans < 16; scans++ {
+				lo := uint64(rng.Int63n(int64(maxKey)))
+				hi := lo + uint64(rng.Int63n(int64(stride*64)))
+				buf = buf[:0]
+				enter(tr, tid)
+				r.Range(tid, lo, hi, func(k, v uint64) bool {
+					buf = append(buf, kv{k, v})
+					return true
+				})
+				leave(tr, tid)
+				if msg := checkScan(lo, hi, buf); msg != "" {
+					errc <- fmt.Sprintf("tid %d: %s", tid, msg)
+					return
+				}
+			}
+		}(churners + w)
+	}
+
+	// Churners finishing releases the scanners (after a minimum count).
+	churnWg.Wait()
+	done.Store(true)
+	scanWg.Wait()
+	close(errc)
+	for e := range errc {
+		t.Fatal(e)
+	}
+
+	// Quiescence: a full-range scan must agree exactly with the union of
+	// the per-churner models plus the anchors.
+	want := map[uint64]bool{}
+	for _, ak := range anchors {
+		want[ak] = true
+	}
+	for _, model := range models {
+		for key, present := range model {
+			if present {
+				want[key] = true
+			}
+		}
+	}
+	var got []kv
+	enter(tr, 0)
+	r.Range(0, 0, maxKey, func(k, v uint64) bool {
+		got = append(got, kv{k, v})
+		return true
+	})
+	leave(tr, 0)
+	if msg := checkScan(0, maxKey, got); msg != "" {
+		t.Fatalf("quiescent %s", msg)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("quiescent scan observed %d keys, models say %d", len(got), len(want))
+	}
+	for _, e := range got {
+		if !want[e.k] {
+			t.Fatalf("quiescent scan observed key %d that the models never inserted", e.k)
+		}
+	}
+	if got := m.Len(); got != len(want) {
+		t.Fatalf("Len = %d, models say %d", got, len(want))
+	}
+
+	// An early-terminated scan must stop exactly where fn said stop.
+	limit := 3
+	var short []kv
+	enter(tr, 0)
+	r.Range(0, 0, maxKey, func(k, v uint64) bool {
+		short = append(short, kv{k, v})
+		limit--
+		return limit > 0
+	})
+	leave(tr, 0)
+	if len(want) >= 3 && len(short) != 3 {
+		t.Fatalf("early-terminated scan visited %d keys, want 3", len(short))
 	}
 }
 

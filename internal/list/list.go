@@ -162,6 +162,71 @@ func (c *Core) Get(tid int, head *atomic.Uint64, key uint64) (uint64, bool) {
 	return c.Arena.Deref(curr).Val.Load(), true
 }
 
+// Range visits every key in [lo, hi] in ascending order against an
+// explicit head word, calling fn for each until it returns false. The
+// traversal follows the find protocol — three rotating hazard slots,
+// validation through the predecessor link, helping unlink marked nodes —
+// so it is lock-free and reclamation-safe under every scheme.
+//
+// A scan is not an atomic snapshot: concurrent inserts and deletes may
+// or may not be observed. The cursor makes the visited keys strictly
+// increasing even across retries (a failed validation restarts the walk
+// from head, but only keys not yet emitted are reported), so every scan
+// is sorted, duplicate-free and bounded by [lo, hi].
+func (c *Core) Range(tid int, head *atomic.Uint64, lo, hi uint64, fn func(key, val uint64) bool) {
+	if hi < lo {
+		return
+	}
+	tr := c.Tracker
+	cursor := lo // smallest key not yet emitted
+retry:
+	for {
+		prevAddr := head
+		s := 0
+		curr := tr.Protect(tid, s, prevAddr)
+		for {
+			if ptr.IsNil(curr) {
+				return
+			}
+			cn := c.Arena.Deref(curr)
+			next := tr.Protect(tid, (s+1)%3, &cn.Left)
+			// Validate: prev still links to curr and neither is marked.
+			if prevAddr.Load() != ptr.Clean(curr) {
+				continue retry
+			}
+			if ptr.Marked(next) {
+				// curr is logically deleted: unlink and retire it.
+				if !prevAddr.CompareAndSwap(ptr.Clean(curr), ptr.Clean(next)) {
+					continue retry
+				}
+				tr.Retire(tid, ptr.Idx(curr))
+				curr = tr.Protect(tid, s, prevAddr)
+				continue
+			}
+			if key := cn.Key.Load(); key > hi {
+				return
+			} else if key >= cursor {
+				if !fn(key, cn.Val.Load()) {
+					return
+				}
+				if key == hi {
+					return // also guards cursor overflow at key = 2^64-1
+				}
+				cursor = key + 1
+			}
+			prevAddr = &cn.Left
+			s = (s + 1) % 3 // cn keeps its hazard while serving as prev
+			curr = next
+		}
+	}
+}
+
+// Range visits every key in [lo, hi] in ascending order (see Core.Range
+// for the traversal guarantees).
+func (l *List) Range(tid int, lo, hi uint64, fn func(key, val uint64) bool) {
+	l.core.Range(tid, &l.head, lo, hi, fn)
+}
+
 // Len counts the unmarked nodes; it is not linearizable and exists for
 // tests run at quiescence.
 func (c *Core) Len(head *atomic.Uint64) int {

@@ -44,6 +44,67 @@ func TestSortedOrder(t *testing.T) {
 	}
 }
 
+func TestRange(t *testing.T) {
+	a := arena.New(1 << 12)
+	tr := trackers.MustNew("epoch", a, trackers.Config{MaxThreads: 1})
+	l := New(a, tr)
+	collect := func(lo, hi uint64) (keys, vals []uint64) {
+		tr.Enter(0)
+		defer tr.Leave(0)
+		l.Range(0, lo, hi, func(k, v uint64) bool {
+			keys = append(keys, k)
+			vals = append(vals, v)
+			return true
+		})
+		return
+	}
+
+	if keys, _ := collect(0, ^uint64(0)); len(keys) != 0 {
+		t.Fatalf("empty list scan returned %v", keys)
+	}
+	for _, k := range []uint64{5, 1, 9, 3, 7, ^uint64(0)} {
+		tr.Enter(0)
+		l.Insert(0, k, k*2)
+		tr.Leave(0)
+	}
+	// Inclusive bounds, sorted output, correct values.
+	keys, vals := collect(3, 7)
+	if want := []uint64{3, 5, 7}; len(keys) != 3 || keys[0] != want[0] || keys[1] != want[1] || keys[2] != want[2] {
+		t.Fatalf("Range[3,7] = %v, want %v", keys, want)
+	}
+	for i, k := range keys {
+		if vals[i] != k*2 {
+			t.Fatalf("key %d carries value %d", k, vals[i])
+		}
+	}
+	// hi < lo is empty, not a panic.
+	if keys, _ := collect(7, 3); len(keys) != 0 {
+		t.Fatalf("inverted range returned %v", keys)
+	}
+	// The maximum key is reachable without the cursor overflowing.
+	if keys, _ := collect(^uint64(0)-1, ^uint64(0)); len(keys) != 1 || keys[0] != ^uint64(0) {
+		t.Fatalf("max-key range = %v", keys)
+	}
+	// Deleted keys disappear from scans.
+	tr.Enter(0)
+	l.Delete(0, 5)
+	tr.Leave(0)
+	if keys, _ := collect(3, 7); len(keys) != 2 || keys[0] != 3 || keys[1] != 7 {
+		t.Fatalf("Range after delete = %v", keys)
+	}
+	// Early termination stops the walk where fn says.
+	var seen []uint64
+	tr.Enter(0)
+	l.Range(0, 0, ^uint64(0), func(k, _ uint64) bool {
+		seen = append(seen, k)
+		return len(seen) < 2
+	})
+	tr.Leave(0)
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 3 {
+		t.Fatalf("early-terminated scan saw %v", seen)
+	}
+}
+
 // TestQuickAgainstModel drives random op sequences through the list and
 // a reference map simultaneously (property-based, single-threaded).
 func TestQuickAgainstModel(t *testing.T) {

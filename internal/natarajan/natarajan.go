@@ -141,7 +141,7 @@ func (t *Tree) seek(tid int, key uint64) seekRecord {
 		s.leaf = current
 		parentField = currentField
 		currentField = tr.Protect(tid, slot, t.childAddr(current, key))
-		slot = slot%6 + 2 // rotate slots 2..7, keeping 0/1 for the window
+		slot = slot%6 + 2 // cycle slots 2→4→6, keeping 0/1 for the window
 		current = ptr.Clean(currentField)
 	}
 	return s
@@ -282,6 +282,80 @@ func (t *Tree) cleanup(tid int, key uint64, s seekRecord) bool {
 	tr.Retire(tid, ptr.Idx(s.parent))
 	tr.Retire(tid, ptr.Idx(ptr.Clean(victimAddr.Load())))
 	return true
+}
+
+// succLeaf descends to the leaf for key exactly like seek, protecting
+// the path with the same rotating hazard slots, but additionally reports
+// the router key of the deepest internal node where the descent turned
+// left. In a leaf-oriented BST the left turns get smaller going down, so
+// that router is the smallest one greater than key — and when the
+// reached leaf holds a key below the target, the next key in the tree
+// (if any) lives at or above it. Edges whose mark bits are set (flagged
+// or tagged pending deletes) are followed cleaned, as in seek.
+func (t *Tree) succLeaf(tid int, key uint64) (leaf ptr.Word, diverge uint64) {
+	tr := t.tracker
+	// The descent always turns left at S (key < ∞1), so ∞1 bounds diverge.
+	diverge = inf1
+	leaf = ptr.Clean(tr.Protect(tid, 0, t.childAddr(t.rootS, key)))
+	currentField := tr.Protect(tid, 1, t.childAddr(leaf, key))
+	current := ptr.Clean(currentField)
+
+	slot := 2
+	for !ptr.IsNil(current) {
+		// leaf is internal: it just routed us; record a left turn.
+		if rk := t.arena.Deref(leaf).Key.Load(); key < rk {
+			diverge = rk
+		}
+		leaf = current
+		currentField = tr.Protect(tid, slot, t.childAddr(current, key))
+		slot = slot%6 + 2 // cycle slots 2→4→6, keeping 0/1 for the window (as in seek)
+		current = ptr.Clean(currentField)
+	}
+	return leaf, diverge
+}
+
+// Range visits every key in [lo, hi] in ascending order, calling fn for
+// each until it returns false. The scan is a leaf-order traversal
+// implemented by successor probing: each step descends for the cursor
+// (sharing seek's protection protocol, so it is lock-free and
+// reclamation-safe under every scheme); if the reached leaf holds a key
+// at or above the cursor it is the successor and is emitted, otherwise
+// the cursor jumps to the deepest left-turn router — the least upper
+// bound the descent established for the missing keys — and probes again.
+// Either way the cursor strictly increases, so every scan is sorted,
+// duplicate-free and bounded by [lo, hi].
+//
+// A scan is not an atomic snapshot: keys inserted or deleted while it is
+// in flight may or may not be observed (a leaf whose edge is flagged by
+// a pending delete may still be emitted, exactly as Get may still return
+// it).
+func (t *Tree) Range(tid int, lo, hi uint64, fn func(key, val uint64) bool) {
+	if hi > KeyMax {
+		hi = KeyMax // the sentinel leaves are never user-visible
+	}
+	cursor := lo
+	for cursor <= hi {
+		leafW, diverge := t.succLeaf(tid, cursor)
+		n := t.arena.Deref(leafW)
+		if k := n.Key.Load(); k >= cursor {
+			if k > hi {
+				return
+			}
+			if !fn(k, n.Val.Load()) {
+				return
+			}
+			if k == hi {
+				return
+			}
+			cursor = k + 1
+		} else {
+			// cursor is absent; the next candidate key is >= diverge.
+			if diverge > hi {
+				return
+			}
+			cursor = diverge
+		}
+	}
 }
 
 // Get returns the value stored under key.

@@ -98,6 +98,80 @@ func TestExternalShapeInvariant(t *testing.T) {
 	}
 }
 
+func TestRange(t *testing.T) {
+	a := arena.New(1 << 12)
+	tr := trackers.MustNew("epoch", a, trackers.Config{MaxThreads: 1})
+	tree := New(a, tr)
+	collect := func(lo, hi uint64) (keys []uint64) {
+		tr.Enter(0)
+		defer tr.Leave(0)
+		tree.Range(0, lo, hi, func(k, v uint64) bool {
+			if v != k+1 {
+				t.Fatalf("key %d carries value %d", k, v)
+			}
+			keys = append(keys, k)
+			return true
+		})
+		return
+	}
+
+	if keys := collect(0, KeyMax); len(keys) != 0 {
+		t.Fatalf("empty tree scan returned %v", keys)
+	}
+	for _, k := range []uint64{50, 20, 80, 10, 30, 70, 90, 25, 35, 15, 5, 60, 100} {
+		tr.Enter(0)
+		if !tree.Insert(0, k, k+1) {
+			t.Fatalf("insert %d failed", k)
+		}
+		tr.Leave(0)
+	}
+	keys := collect(15, 70)
+	want := []uint64{15, 20, 25, 30, 35, 50, 60, 70}
+	if len(keys) != len(want) {
+		t.Fatalf("Range[15,70] = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Range[15,70] = %v, want %v", keys, want)
+		}
+	}
+	// Stale routers: deleting a key whose router remains in the tree must
+	// not derail the successor probing around it.
+	for _, k := range []uint64{30, 50} {
+		tr.Enter(0)
+		if !tree.Delete(0, k) {
+			t.Fatalf("delete %d failed", k)
+		}
+		tr.Leave(0)
+	}
+	keys = collect(25, 80)
+	want = []uint64{25, 35, 60, 70, 80}
+	if len(keys) != len(want) {
+		t.Fatalf("Range[25,80] after deletes = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Range[25,80] after deletes = %v, want %v", keys, want)
+		}
+	}
+	// hi above KeyMax is clamped: the sentinel leaves stay invisible.
+	keys = collect(90, ^uint64(0))
+	if len(keys) != 2 || keys[0] != 90 || keys[1] != 100 {
+		t.Fatalf("Range[90,max] = %v, want [90 100]", keys)
+	}
+	if keys := collect(60, 20); len(keys) != 0 {
+		t.Fatalf("inverted range returned %v", keys)
+	}
+	// Early termination.
+	n := 0
+	tr.Enter(0)
+	tree.Range(0, 0, KeyMax, func(_, _ uint64) bool { n++; return n < 3 })
+	tr.Leave(0)
+	if n != 3 {
+		t.Fatalf("early-terminated scan visited %d keys", n)
+	}
+}
+
 func TestUserKeyRange(t *testing.T) {
 	// The sentinels live above KeyMax; everything in the user range must
 	// behave normally, including the extremes.

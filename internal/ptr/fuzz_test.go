@@ -1,0 +1,57 @@
+package ptr
+
+import "testing"
+
+// FuzzWordRoundTrip packs an arbitrary index with an arbitrary
+// combination of the mark/flag/tag bits and demands that every accessor
+// recovers exactly what went in: the index, each bit individually,
+// cleanliness, and non-nilness. Any packing overlap between the index
+// field and the bit field would surface here.
+func FuzzWordRoundTrip(f *testing.F) {
+	f.Add(uint32(0), false, false, false)
+	f.Add(uint32(1), true, false, false)
+	f.Add(uint32(42), false, true, true)
+	f.Add(uint32(1<<31-2), true, true, true) // top of the index space
+	f.Fuzz(func(t *testing.T, i uint32, mark, flag, tag bool) {
+		idx := i % (1<<31 - 1) // arena indices stay below 2^31-1
+		w := Pack(idx)
+		if mark {
+			w = WithMark(w)
+		}
+		if flag {
+			w = WithFlag(w)
+		}
+		if tag {
+			w = WithTag(w)
+		}
+		if IsNil(w) {
+			t.Fatalf("packed word %#x reads as nil", w)
+		}
+		if got := Idx(w); got != idx {
+			t.Fatalf("Idx(%#x) = %d, want %d", w, got, idx)
+		}
+		if Marked(w) != mark || Flagged(w) != flag || Tagged(w) != tag {
+			t.Fatalf("bits of %#x = (%v,%v,%v), want (%v,%v,%v)",
+				w, Marked(w), Flagged(w), Tagged(w), mark, flag, tag)
+		}
+		if got := Clean(w); got != Pack(idx) {
+			t.Fatalf("Clean(%#x) = %#x, want %#x", w, got, Pack(idx))
+		}
+		if !Same(w, Pack(idx)) {
+			t.Fatalf("Same(%#x, Pack(%d)) = false", w, idx)
+		}
+		wantBits := Word(0)
+		if mark {
+			wantBits |= MarkBit
+		}
+		if flag {
+			wantBits |= FlagBit
+		}
+		if tag {
+			wantBits |= TagBit
+		}
+		if got := Bits(w); got != wantBits {
+			t.Fatalf("Bits(%#x) = %#x, want %#x", w, got, wantBits)
+		}
+	})
+}

@@ -300,6 +300,69 @@ func (s *SkipList) Get(tid int, key uint64) (uint64, bool) {
 	return s.arena.Deref(curr).Val.Load(), true
 }
 
+// Range visits every key in [lo, hi] in ascending order, calling fn for
+// each until it returns false. Positioning is logarithmic: find descends
+// the tower levels to the first key >= cursor, then the scan walks the
+// bottom level only, with the same three-slot protection discipline as
+// find but on hazard slots 3..5 — disjoint from find's 0..2, so the
+// predecessor link returned by find stays protected while the walk takes
+// over, and a validation failure can re-descend instead of rewalking the
+// whole bottom chain.
+//
+// A scan is not an atomic snapshot: concurrent inserts and deletes may
+// or may not be observed. The cursor makes the visited keys strictly
+// increasing even across retries, so every scan is sorted,
+// duplicate-free and bounded by [lo, hi].
+func (s *SkipList) Range(tid int, lo, hi uint64, fn func(key, val uint64) bool) {
+	if hi < lo {
+		return
+	}
+	tr := s.tracker
+	cursor := lo // smallest key not yet emitted
+retry:
+	for {
+		prevAddr, _, _ := s.find(tid, cursor, 0)
+		sl := 3
+		curr := tr.Protect(tid, sl, prevAddr)
+		for {
+			if ptr.IsNil(curr) {
+				return
+			}
+			cn := s.arena.Deref(curr)
+			sn := 3 + (sl-3+1)%3
+			next := tr.Protect(tid, sn, cn.Link(0))
+			// Validate: prev still links to curr and neither is marked.
+			if prevAddr.Load() != ptr.Clean(curr) {
+				continue retry
+			}
+			if ptr.Marked(next) {
+				// curr is logically deleted at level 0: unlink it and
+				// clear its level bit (possibly retiring it).
+				if !prevAddr.CompareAndSwap(ptr.Clean(curr), ptr.Clean(next)) {
+					continue retry
+				}
+				s.unlinked(tid, curr, 0)
+				curr = tr.Protect(tid, sl, prevAddr)
+				continue
+			}
+			if key := cn.Key.Load(); key > hi {
+				return
+			} else if key >= cursor {
+				if !fn(key, cn.Val.Load()) {
+					return
+				}
+				if key == hi {
+					return // also guards cursor overflow at key = 2^64-1
+				}
+				cursor = key + 1
+			}
+			prevAddr = cn.Link(0)
+			sl = sn // cn keeps its hazard while serving as prev
+			curr = next
+		}
+	}
+}
+
 // each walks the bottom level at quiescence, visiting unmarked nodes in
 // order until fn returns false. Not linearizable; it backs the Len, Keys
 // and Height helpers the tests use.

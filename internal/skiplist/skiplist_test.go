@@ -71,6 +71,106 @@ func TestTowerHeightDistribution(t *testing.T) {
 	}
 }
 
+func TestRange(t *testing.T) {
+	a := arena.New(1 << 14)
+	tr := trackers.MustNew("hp", a, trackers.Config{MaxThreads: 1})
+	s := New(a, tr, 1)
+	for k := uint64(0); k < 1000; k += 2 { // even keys only
+		tr.Enter(0)
+		s.Insert(0, k, k*31+7)
+		tr.Leave(0)
+	}
+	collect := func(lo, hi uint64) (keys []uint64) {
+		tr.Enter(0)
+		defer tr.Leave(0)
+		s.Range(0, lo, hi, func(k, v uint64) bool {
+			if v != k*31+7 {
+				t.Fatalf("key %d carries value %d", k, v)
+			}
+			keys = append(keys, k)
+			return true
+		})
+		return
+	}
+	keys := collect(100, 200)
+	if len(keys) != 51 || keys[0] != 100 || keys[50] != 200 {
+		t.Fatalf("Range[100,200]: %d keys, first %d, last %d", len(keys), keys[0], keys[len(keys)-1])
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("scan out of order: %v", keys)
+		}
+	}
+	// Odd bounds exclude the absent endpoints.
+	if keys := collect(101, 199); len(keys) != 49 || keys[0] != 102 || keys[48] != 198 {
+		t.Fatalf("Range[101,199] = %d keys [%d..%d]", len(keys), keys[0], keys[len(keys)-1])
+	}
+	if keys := collect(500, 400); len(keys) != 0 {
+		t.Fatalf("inverted range returned %v", keys)
+	}
+	// The maximum key is reachable without the cursor overflowing.
+	maxKey := ^uint64(0)
+	tr.Enter(0)
+	s.Insert(0, maxKey, maxKey*31+7)
+	tr.Leave(0)
+	if keys := collect(^uint64(0), ^uint64(0)); len(keys) != 1 || keys[0] != ^uint64(0) {
+		t.Fatalf("max-key range = %v", keys)
+	}
+	// Early termination.
+	n := 0
+	tr.Enter(0)
+	s.Range(0, 0, ^uint64(0), func(_, _ uint64) bool { n++; return n < 5 })
+	tr.Leave(0)
+	if n != 5 {
+		t.Fatalf("early-terminated scan visited %d keys", n)
+	}
+}
+
+// TestRandomHeightDistribution draws directly from the tower-height
+// generator and pins it to the geometric(1/2) law: heights stay within
+// [1, arena.MaxLinks] (a taller tower would index past the node's link
+// words), and the per-level frequencies match 2^-level within a
+// tolerance far wider than the deterministic generator's deviation.
+func TestRandomHeightDistribution(t *testing.T) {
+	a := arena.New(64)
+	tr := trackers.MustNew("leaky", a, trackers.Config{MaxThreads: 4})
+	s := New(a, tr, 4)
+
+	const draws = 200_000
+	counts := make([]int, MaxHeight+2)
+	for tid := 0; tid < 4; tid++ {
+		for i := 0; i < draws/4; i++ {
+			h := s.randomHeight(tid)
+			if h < 1 || h > arena.MaxLinks {
+				t.Fatalf("randomHeight = %d outside [1, %d]", h, arena.MaxLinks)
+			}
+			counts[h]++
+		}
+	}
+	if MaxHeight != arena.MaxLinks {
+		t.Fatalf("MaxHeight %d != arena.MaxLinks %d", MaxHeight, arena.MaxLinks)
+	}
+	// Geometric(1/2): P(h) = 2^-h for h < MaxHeight; the top level absorbs
+	// the tail, so P(MaxHeight) = 2^-(MaxHeight-1).
+	for h := 1; h <= MaxHeight; h++ {
+		want := 1.0 / float64(int(1)<<h)
+		if h == MaxHeight {
+			want = 1.0 / float64(int(1)<<(MaxHeight-1))
+		}
+		got := float64(counts[h]) / draws
+		// ~3σ for the binomial at p=0.5 is about 0.0034; 0.02 allows for
+		// the xorshift generator's bias without hiding a broken geometry.
+		if diff := got - want; diff < -0.02 || diff > 0.02 {
+			t.Fatalf("height %d frequency %.4f, want %.4f±0.02 (counts %v)", h, got, want, counts)
+		}
+	}
+	for h := 1; h < 5; h++ {
+		if counts[h] <= counts[h+1] {
+			t.Fatalf("height frequencies not decreasing at %d: %v", h, counts)
+		}
+	}
+}
+
 // TestDeleteDrainsAllLevels verifies the exactly-once retire protocol on
 // a pointer-based scheme: after deleting every key and flushing, every
 // tower — including the multi-level ones — must have been unlinked from
