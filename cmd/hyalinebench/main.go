@@ -52,6 +52,8 @@ func run(args []string) error {
 		rangePct  = fs.Int("range", 0, "single run: percentage of operations that are range scans (ordered structures only; carved from the get share)")
 		rangeSpan = fs.Uint64("rangespan", 128, "single run: key width of one range scan")
 		trim      = fs.Bool("trim", false, "single run: use Hyaline trim (§3.3)")
+		sessions  = fs.Bool("sessions", false, "single run: drive workers through the leased-tid session layer (goroutines share -threads tids)")
+		gor       = fs.Int("goroutines", 0, "single run: session-mode worker count (0 = 2x threads; may exceed -threads)")
 		slots     = fs.Int("slots", 0, "Hyaline slot cap k (0 = next pow2 of cores)")
 		prefill   = fs.Int("prefill", 50_000, "prefill element count")
 		keyrange  = fs.Uint64("keyrange", 100_000, "key universe size")
@@ -75,7 +77,8 @@ func run(args []string) error {
 			structure: *structure, scheme: *scheme, threads: *threads,
 			stalled: *stalled, duration: *duration, workload: *workload,
 			rangePct: *rangePct, rangeSpan: *rangeSpan,
-			trim: *trim, slots: *slots, prefill: *prefill,
+			trim: *trim, sessions: *sessions, goroutines: *gor,
+			slots: *slots, prefill: *prefill,
 			keyrange: *keyrange, arenaCap: *arenaCap,
 		})
 	default:
@@ -172,10 +175,10 @@ type singleConfig struct {
 	structure, scheme, workload string
 	threads, stalled, slots     int
 	prefill, arenaCap           int
-	rangePct                    int
+	rangePct, goroutines        int
 	rangeSpan, keyrange         uint64
 	duration                    time.Duration
-	trim                        bool
+	trim, sessions              bool
 }
 
 func runSingle(c singleConfig) error {
@@ -201,18 +204,20 @@ func runSingle(c singleConfig) error {
 		wl.GetPct = 100 - wl.InsertPct - wl.DeletePct - wl.RangePct
 	}
 	res, err := bench.Run(bench.Config{
-		Structure: c.structure,
-		Scheme:    c.scheme,
-		Threads:   c.threads,
-		Stalled:   c.stalled,
-		Duration:  c.duration,
-		Workload:  wl,
-		RangeSpan: c.rangeSpan,
-		Trim:      c.trim,
-		Prefill:   c.prefill,
-		KeyRange:  c.keyrange,
-		ArenaCap:  c.arenaCap,
-		Tracker:   trackers.Config{Slots: c.slots},
+		Structure:  c.structure,
+		Scheme:     c.scheme,
+		Threads:    c.threads,
+		Stalled:    c.stalled,
+		Duration:   c.duration,
+		Workload:   wl,
+		RangeSpan:  c.rangeSpan,
+		Trim:       c.trim,
+		Sessions:   c.sessions,
+		Goroutines: c.goroutines,
+		Prefill:    c.prefill,
+		KeyRange:   c.keyrange,
+		ArenaCap:   c.arenaCap,
+		Tracker:    trackers.Config{Slots: c.slots},
 	})
 	if err != nil {
 		return err

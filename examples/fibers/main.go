@@ -1,12 +1,15 @@
 // Fibers: the paper's transparency claim in action (§2.4, §3).
 //
-// A server spawns thousands of short-lived "fibers" (goroutines standing
-// in for per-client threads). Each fiber borrows a thread-id token, runs
-// a handful of operations against a shared map, and dies. With Hyaline
-// there is no per-thread registration or blocking unregistration: the
-// scheme keeps a small fixed number of slots, a fiber is off the hook as
-// soon as it leaves its last operation, and whichever later fiber holds
-// the last reference frees the dead fiber's retired nodes.
+// A server spawns thousands of short-lived "fibers" (goroutines
+// standing in for per-client threads). Each fiber runs a handful of
+// operations against a shared hyaline.KV and dies. There is no
+// per-thread registration and no blocking unregistration: the KV's
+// internal session layer (internal/session) leases one of a small
+// fixed set of thread ids to each operation, a fiber is off the hook as
+// soon as its last operation ends, and whichever later fiber holds the
+// last reference frees the dead fiber's retired nodes. The tid pool
+// earlier revisions of this example hand-rolled with a buffered channel
+// is now the library's job — fibers just call Insert/Delete.
 //
 // Contrast with HP/HE/EBR-style schemes (Table 1), whose per-thread
 // limbo lists and reservations make thread death a blocking handshake.
@@ -20,70 +23,58 @@ import (
 	"sync"
 
 	"hyaline"
+	"hyaline/internal/exenv"
 )
 
 func main() {
-	const (
-		tokens      = 16     // concurrent fibers (and tid tokens)
-		fiberCount  = 10_000 // fibers born and destroyed over the run
-		opsPerFiber = 500
+	var (
+		tids        = 16                      // leased tids = max concurrent operations
+		fiberCount  = exenv.Pick(10_000, 200) // fibers born and destroyed
+		opsPerFiber = exenv.Pick(500, 50)
 	)
 
-	a := hyaline.NewArena(1 << 20)
 	// Hyaline needs only k slots regardless of how many fibers come and
-	// go; tids index per-fiber retire batches, recycled via the pool.
-	tr, err := hyaline.New("hyaline", a, hyaline.Options{MaxThreads: tokens, Slots: 8})
-	if err != nil {
-		panic(err)
-	}
-	m, err := hyaline.NewMap("hashmap", a, tr, tokens)
+	// go; the KV leases its 16 tids to whichever fibers are mid-call.
+	kv, err := hyaline.NewKV("hashmap", "hyaline", hyaline.KVOptions{
+		MaxThreads: tids,
+		Tracker:    hyaline.Options{Slots: 8},
+	})
 	if err != nil {
 		panic(err)
 	}
 
-	// tid token pool: a dying fiber hands its token (and nothing else —
-	// no reclamation handshake) to the next fiber.
-	tidPool := make(chan int, tokens)
-	for i := 0; i < tokens; i++ {
-		tidPool <- i
-	}
-
+	// Cap live fibers so the example models a bounded worker fleet; the
+	// cap is deliberately above MaxThreads — excess callers briefly wait
+	// for a tid lease inside the KV, not at a registration barrier.
+	gate := make(chan struct{}, 4*tids)
 	var wg sync.WaitGroup
-	born := 0
-	for born < fiberCount {
-		tid := <-tidPool // at most `tokens` fibers alive at once
-		born++
+	for fiber := 0; fiber < fiberCount; fiber++ {
+		gate <- struct{}{}
 		wg.Add(1)
-		go func(fiber, tid int) {
+		go func(fiber int) {
 			defer wg.Done()
-			defer func() { tidPool <- tid }()
+			defer func() { <-gate }()
 			rng := rand.New(rand.NewSource(int64(fiber)))
 			for i := 0; i < opsPerFiber; i++ {
 				key := uint64(rng.Intn(5_000))
-				tr.Enter(tid)
 				if rng.Intn(2) == 0 {
-					m.Insert(tid, key, key+1)
+					kv.Insert(key, key+1)
 				} else {
-					m.Delete(tid, key)
+					kv.Delete(key)
 				}
-				tr.Leave(tid)
 			}
 			// The fiber dies here. It does NOT wait for its retired
 			// nodes: they are already on the shared retirement lists,
 			// owned collectively by whoever is still running.
-		}(born, tid)
+		}(fiber)
 	}
 	wg.Wait()
 
-	for tid := 0; tid < tokens; tid++ {
-		if fl, ok := tr.(hyaline.Flusher); ok {
-			fl.Flush(tid)
-		}
-	}
-	st := tr.Stats()
-	fmt.Printf("fibers run:        %d (over %d tid tokens, 8 slots)\n", fiberCount, tokens)
+	kv.Flush()
+	st := kv.Stats()
+	fmt.Printf("fibers run:        %d (over %d leased tids, 8 slots)\n", fiberCount, tids)
 	fmt.Printf("nodes retired:     %d\n", st.Retired)
 	fmt.Printf("awaiting reclaim:  %d  <- bounded, despite %d thread deaths\n",
 		st.Unreclaimed(), fiberCount)
-	fmt.Printf("map entries:       %d\n", m.Len())
+	fmt.Printf("map entries:       %d\n", kv.Len())
 }

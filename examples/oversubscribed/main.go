@@ -9,6 +9,11 @@
 // retire batches amortize the slot traffic (§6: "the small gap ... can
 // be eliminated by further increasing batch sizes").
 //
+// The final rows drive the same oversubscription through the leased-tid
+// session layer instead of raw preemption: 4×cores goroutines share
+// just `cores` tids, each operation leasing one — the shape of a Go
+// service where request handlers outnumber the reclamation slots.
+//
 //	go run ./examples/oversubscribed
 package main
 
@@ -20,21 +25,26 @@ import (
 	"time"
 
 	"hyaline"
+	"hyaline/internal/exenv"
 )
 
 func main() {
 	cores := runtime.GOMAXPROCS(0)
 	threads := []int{cores, 2 * cores, 4 * cores}
+	window := time.Second
+	if exenv.Fast() {
+		window = 50 * time.Millisecond
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "threads\tscheme\tMops/s\tavg unreclaimed\n")
+	fmt.Fprintf(w, "threads\tgoroutines\tscheme\tMops/s\tavg unreclaimed\n")
 	for _, n := range threads {
 		for _, scheme := range []string{"epoch", "hyaline"} {
 			cfg := hyaline.BenchConfig{
 				Structure: "hashmap",
 				Scheme:    scheme,
 				Threads:   n,
-				Duration:  time.Second,
+				Duration:  window,
 				Prefill:   50_000,
 				KeyRange:  100_000,
 			}
@@ -47,10 +57,34 @@ func main() {
 			if err != nil {
 				panic(err)
 			}
-			fmt.Fprintf(w, "%d\t%s\t%.2f\t%.0f\n",
-				n, scheme, res.ThroughputMops, res.AvgUnreclaimed)
+			fmt.Fprintf(w, "%d\t%d\t%s\t%.2f\t%.0f\n",
+				n, n, scheme, res.ThroughputMops, res.AvgUnreclaimed)
 		}
 	}
+	// Session mode: the goroutine count exceeds the tid count, so the
+	// oversubscription happens at the lease, not in the scheduler.
+	for _, scheme := range []string{"epoch", "hyaline"} {
+		cfg := hyaline.BenchConfig{
+			Structure:  "hashmap",
+			Scheme:     scheme,
+			Threads:    cores,
+			Sessions:   true,
+			Goroutines: 4 * cores,
+			Duration:   window,
+			Prefill:    50_000,
+			KeyRange:   100_000,
+		}
+		if scheme == "hyaline" {
+			cfg.Tracker.MinBatch = 256
+		}
+		res, err := hyaline.Bench(cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(w, "%d (leased)\t%d\t%s\t%.2f\t%.0f\n",
+			cores, res.Goroutines, scheme, res.ThroughputMops, res.AvgUnreclaimed)
+	}
 	w.Flush()
-	fmt.Printf("\n(%d cores; threads beyond that are preempted mid-operation)\n", cores)
+	fmt.Printf("\n(%d cores; threads beyond that are preempted mid-operation, and the\n"+
+		"leased rows oversubscribe via the session layer instead)\n", cores)
 }

@@ -1,9 +1,12 @@
-// Quickstart: a shared lock-free hash map under Hyaline reclamation.
+// Quickstart: a shared lock-free map under Hyaline reclamation, through
+// the goroutine-transparent hyaline.KV front-end.
 //
-// Eight workers hammer one map with inserts, deletes and lookups. Every
-// operation is bracketed by Enter/Leave; deleted nodes are retired by
-// the data structure and freed by whichever thread drops the last
-// reference — the calling thread is "off the hook" the moment it leaves.
+// Eight goroutines hammer one map with inserts, deletes and lookups.
+// There is no thread registration and no tid plumbing: every call
+// leases a thread id internally for exactly the duration of the
+// operation, and a deleted node is freed by whichever caller drops the
+// last reference — the calling goroutine is "off the hook" the moment
+// its operation ends (§2.4 of the paper).
 //
 //	go run ./examples/quickstart
 package main
@@ -14,20 +17,16 @@ import (
 	"sync"
 
 	"hyaline"
+	"hyaline/internal/exenv"
 )
 
 func main() {
-	const (
+	var (
 		workers = 8
-		opsEach = 200_000
+		opsEach = exenv.Pick(200_000, 2_000)
 	)
 
-	a := hyaline.NewArena(1 << 20)
-	tr, err := hyaline.New("hyaline", a, hyaline.Options{MaxThreads: workers})
-	if err != nil {
-		panic(err)
-	}
-	m, err := hyaline.NewMap("hashmap", a, tr, workers)
+	kv, err := hyaline.NewKV("hashmap", "hyaline", hyaline.KVOptions{})
 	if err != nil {
 		panic(err)
 	}
@@ -35,41 +34,35 @@ func main() {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(tid int) {
+		go func(seed int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(tid)))
+			rng := rand.New(rand.NewSource(int64(seed)))
 			for i := 0; i < opsEach; i++ {
 				key := uint64(rng.Intn(10_000))
-				tr.Enter(tid)
 				switch rng.Intn(3) {
 				case 0:
-					m.Insert(tid, key, key*2)
+					kv.Insert(key, key*2)
 				case 1:
-					m.Delete(tid, key)
+					kv.Delete(key)
 				default:
-					if v, ok := m.Get(tid, key); ok && v != key*2 {
+					if v, ok := kv.Get(key); ok && v != key*2 {
 						panic("corrupted read — reclamation failed")
 					}
 				}
-				tr.Leave(tid)
 			}
 		}(w)
 	}
 	wg.Wait()
 
-	// Drain the per-thread retire batches so the final accounting is
-	// exact (a long-running service would simply keep operating).
-	if fl, ok := tr.(hyaline.Flusher); ok {
-		for tid := 0; tid < workers; tid++ {
-			fl.Flush(tid)
-		}
-	}
+	// Drain the per-tid retire batches so the final accounting is exact
+	// (a long-running service would simply keep operating).
+	kv.Flush()
 
-	st := tr.Stats()
-	fmt.Printf("entries in map:     %d\n", m.Len())
+	st := kv.Stats()
+	fmt.Printf("entries in map:     %d\n", kv.Len())
 	fmt.Printf("nodes allocated:    %d\n", st.Allocated)
 	fmt.Printf("nodes retired:      %d\n", st.Retired)
 	fmt.Printf("nodes freed:        %d\n", st.Freed)
 	fmt.Printf("awaiting reclaim:   %d\n", st.Unreclaimed())
-	fmt.Printf("arena live nodes:   %d (map entries + awaiting)\n", a.Live())
+	fmt.Printf("arena live nodes:   %d (map entries + awaiting)\n", kv.Live())
 }

@@ -25,16 +25,17 @@ import (
 	"time"
 
 	"hyaline"
+	"hyaline/internal/exenv"
 )
 
 func main() {
-	const (
+	var (
 		churners = 6
 		scanners = 2
 		workers  = churners + scanners
-		opsEach  = 60_000
-		keySpace = 20_000
-		window   = 512
+		opsEach  = exenv.Pick(60_000, 2_000)
+		keySpace = exenv.Pick(20_000, 2_000)
+		window   = uint64(512)
 	)
 
 	for _, structure := range hyaline.Structures() {

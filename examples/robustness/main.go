@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"hyaline"
+	"hyaline/internal/exenv"
 )
 
 func run(scheme string) {
@@ -22,8 +23,8 @@ func run(scheme string) {
 		workers = 4
 		stalled = workers // extra tid for the stalled reader
 		rounds  = 5
-		opsPer  = 200_000
 	)
+	opsPer := exenv.Pick(200_000, 4_000)
 	a := hyaline.NewArena(1 << 22)
 	tr, err := hyaline.New(scheme, a, hyaline.Options{
 		MaxThreads: workers + 1,
@@ -49,7 +50,7 @@ func run(scheme string) {
 			wg.Add(1)
 			go func(tid int) {
 				defer wg.Done()
-				base := uint64(round.Load()) * opsPer
+				base := uint64(round.Load()) * uint64(opsPer)
 				for i := 0; i < opsPer; i++ {
 					// Insert a key, then delete that same key: real
 					// retire traffic on every pair of operations.

@@ -19,13 +19,14 @@ import (
 	"time"
 
 	"hyaline"
+	"hyaline/internal/exenv"
 )
 
 func main() {
-	const (
+	var (
 		workers  = 8
-		opsEach  = 100_000
-		keySpace = 20_000
+		opsEach  = exenv.Pick(100_000, 2_000)
+		keySpace = exenv.Pick(20_000, 2_000)
 	)
 
 	fmt.Printf("%-11s %10s %12s %10s %10s %12s\n",

@@ -16,6 +16,28 @@
 //
 // # Quick start
 //
+// KV is the goroutine-transparent front-end — call it from any number
+// of goroutines, no thread registration, no tid plumbing:
+//
+//	kv, err := hyaline.NewKV("hashmap", "hyaline", hyaline.KVOptions{})
+//	if err != nil { ... }
+//
+//	// From any goroutine:
+//	kv.Insert(key, value)
+//	v, ok := kv.Get(key)
+//	kv.Delete(key)
+//
+// Internally each call leases a dense thread id from a lock-free
+// session pool for exactly the duration of the operation (a per-P
+// cache keeps the hot path allocation- and contention-free), so any
+// number of goroutines share KVOptions.MaxThreads tids.
+//
+// # Low-level API
+//
+// The explicit-tid surface remains for callers that manage their own
+// worker identity — the benchmark harness pins tids to workers to
+// reproduce the paper's figures:
+//
 //	a := hyaline.NewArena(1 << 20)
 //	tr, err := hyaline.New("hyaline", a, hyaline.Options{MaxThreads: 8})
 //	if err != nil { ... }

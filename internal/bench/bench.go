@@ -21,6 +21,7 @@ import (
 
 	"hyaline/internal/arena"
 	"hyaline/internal/ds"
+	"hyaline/internal/session"
 	"hyaline/internal/smr"
 	"hyaline/internal/trackers"
 )
@@ -85,6 +86,16 @@ type Config struct {
 	// Trim replaces per-operation leave/enter with Hyaline's trim (§3.3,
 	// Figure 10b). Only Hyaline variants support it.
 	Trim bool
+	// Sessions drives the workload through the goroutine-transparent
+	// session layer (internal/session): Goroutines workers lease the
+	// Threads tids per operation instead of owning one statically, so
+	// the worker count may exceed MaxThreads — oversubscription through
+	// leasing rather than preemption. Incompatible with Trim, which
+	// needs a tid held across operations.
+	Sessions bool
+	// Goroutines is the worker count in session mode (default
+	// 2×Threads). Ignored unless Sessions is set.
+	Goroutines int
 	// Pin locks workers to OS threads, approximating the paper's pthread
 	// pinning.
 	Pin bool
@@ -118,6 +129,9 @@ func (c *Config) fill() {
 	if c.Threads <= 0 {
 		c.Threads = 1
 	}
+	if c.Sessions && c.Goroutines <= 0 {
+		c.Goroutines = 2 * c.Threads
+	}
 }
 
 // Result is one measured data point.
@@ -126,8 +140,11 @@ type Result struct {
 	Scheme    string
 	Threads   int
 	Stalled   int
-	Workload  string
-	Duration  time.Duration
+	// Goroutines is the session-mode worker count (0 when workers own
+	// their tids statically).
+	Goroutines int
+	Workload   string
+	Duration   time.Duration
 
 	Ops            int64
 	ScannedKeys    int64   // keys visited by range scans (scan-mix only)
@@ -139,9 +156,13 @@ type Result struct {
 
 // String formats the result as one table row.
 func (r Result) String() string {
-	return fmt.Sprintf("%-10s %-11s thr=%-4d stall=%-3d %-11s %8.3f Mops/s  avg-unreclaimed=%10.0f",
+	row := fmt.Sprintf("%-10s %-11s thr=%-4d stall=%-3d %-11s %8.3f Mops/s  avg-unreclaimed=%10.0f",
 		r.Structure, r.Scheme, r.Threads, r.Stalled, r.Workload,
 		r.ThroughputMops, r.AvgUnreclaimed)
+	if r.Goroutines > 0 {
+		row += fmt.Sprintf("  sessions(gor=%d)", r.Goroutines)
+	}
+	return row
 }
 
 // Run executes one benchmark configuration.
@@ -153,6 +174,9 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Trim && cfg.Scheme != "hyaline" && cfg.Scheme != "hyaline-1" &&
 		cfg.Scheme != "hyaline-s" && cfg.Scheme != "hyaline-1s" {
 		return Result{}, fmt.Errorf("bench: trim applies only to Hyaline variants, not %s", cfg.Scheme)
+	}
+	if cfg.Trim && cfg.Sessions {
+		return Result{}, fmt.Errorf("bench: trim needs a tid held across operations; sessions lease one per operation")
 	}
 	total := cfg.Threads + cfg.Stalled
 	tcfg := cfg.Tracker
@@ -178,49 +202,73 @@ func Run(cfg Config) (Result, error) {
 
 	prefill(tr, m, cfg)
 
+	// In session mode, workers lease tids per operation instead of
+	// owning one; there may be more workers than tids.
+	workers := cfg.Threads
+	var pool *session.Pool
+	if cfg.Sessions {
+		workers = cfg.Goroutines
+		pool = session.NewPool(tr, total)
+	}
+	counters := total
+	if workers > counters {
+		counters = workers
+	}
+
 	var (
 		stop      atomic.Bool
 		started   sync.WaitGroup
 		done      sync.WaitGroup
 		release   = make(chan struct{})
-		opCount   = make([]paddedCounter, total)
-		scanCount = make([]paddedCounter, total)
+		opCount   = make([]paddedCounter, counters)
+		scanCount = make([]paddedCounter, counters)
 	)
 
 	// Stalled workers: enter, dereference the structure once (so
 	// era-based schemes cover live nodes), then freeze until the end.
+	// In session mode they hold a leased session for the whole run,
+	// shrinking the tid supply the active goroutines share.
 	stallWoken := make(chan struct{})
 	var stallOnce sync.Once
 	for i := 0; i < cfg.Stalled; i++ {
-		tid := cfg.Threads + i
 		started.Add(1)
 		done.Add(1)
-		go func(tid int) {
+		go func(i int) {
 			defer done.Done()
+			tid := cfg.Threads + i
+			var s *session.Session
+			if pool != nil {
+				s = pool.Acquire()
+				tid = s.Tid()
+			}
 			tr.Enter(tid)
 			m.Get(tid, uint64(tid)%cfg.KeyRange)
 			started.Done()
 			<-stallWoken // park inside the operation
 			tr.Leave(tid)
-		}(tid)
+			if s != nil {
+				pool.Release(s)
+			}
+		}(i)
 	}
 
-	for w := 0; w < cfg.Threads; w++ {
+	for w := 0; w < workers; w++ {
 		started.Add(1)
 		done.Add(1)
-		go func(tid int) {
+		go func(w int) {
 			defer done.Done()
 			if cfg.Pin {
 				runtime.LockOSThread()
 				defer runtime.UnlockOSThread()
 			}
-			rng := rand.New(rand.NewSource(int64(tid)*2654435761 + 1))
+			rng := rand.New(rand.NewSource(int64(w)*2654435761 + 1))
 			started.Done()
 			<-release
 
 			trimmer, _ := tr.(smr.Trimmer)
 			ranger, _ := m.(ds.Ranger)
 			var scanned int64 // keeps the scan body from being a no-op
+			tid := w
 			if cfg.Trim {
 				tr.Enter(tid)
 			}
@@ -228,6 +276,11 @@ func Run(cfg Config) (Result, error) {
 			for !stop.Load() {
 				key := uint64(rng.Int63n(int64(cfg.KeyRange)))
 				mix := rng.Intn(100)
+				var s *session.Session
+				if pool != nil {
+					s = pool.Acquire()
+					tid = s.Tid()
+				}
 				if !cfg.Trim {
 					tr.Enter(tid)
 				}
@@ -249,13 +302,16 @@ func Run(cfg Config) (Result, error) {
 				} else {
 					tr.Leave(tid)
 				}
+				if s != nil {
+					pool.Release(s)
+				}
 				ops++
 			}
 			if cfg.Trim {
 				tr.Leave(tid)
 			}
-			opCount[tid].v.Store(ops)
-			scanCount[tid].v.Store(scanned)
+			opCount[w].v.Store(ops)
+			scanCount[w].v.Store(scanned)
 		}(w)
 	}
 
@@ -301,11 +357,16 @@ sampling:
 	if samples > 0 {
 		avg = sumUn / float64(samples)
 	}
+	goroutines := 0
+	if cfg.Sessions {
+		goroutines = cfg.Goroutines
+	}
 	return Result{
 		Structure:      cfg.Structure,
 		Scheme:         cfg.Scheme,
 		Threads:        cfg.Threads,
 		Stalled:        cfg.Stalled,
+		Goroutines:     goroutines,
 		Workload:       cfg.Workload.Name(),
 		Duration:       elapsed,
 		Ops:            ops,

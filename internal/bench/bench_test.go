@@ -119,6 +119,84 @@ func TestRunWithStalledThreads(t *testing.T) {
 	}
 }
 
+func TestRunSessions(t *testing.T) {
+	// Session mode: 12 goroutines leasing 4 tids per operation, across
+	// a transparent scheme and a reservation-based one.
+	for _, scheme := range []string{"hyaline", "hp"} {
+		res, err := Run(Config{
+			Structure:  "hashmap",
+			Scheme:     scheme,
+			Threads:    4,
+			Sessions:   true,
+			Goroutines: 12,
+			Duration:   50 * time.Millisecond,
+			Prefill:    1000,
+			KeyRange:   2000,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("%s: zero ops through the session layer", scheme)
+		}
+		if res.Goroutines != 12 || res.Threads != 4 {
+			t.Fatalf("%s: result %+v", scheme, res)
+		}
+		if !strings.Contains(res.String(), "sessions(gor=12)") {
+			t.Fatalf("%s: session mode missing from row: %s", scheme, res)
+		}
+	}
+}
+
+func TestRunSessionsDefaultsGoroutines(t *testing.T) {
+	res, err := Run(Config{
+		Structure: "hashmap",
+		Scheme:    "epoch",
+		Threads:   2,
+		Sessions:  true,
+		Duration:  30 * time.Millisecond,
+		Prefill:   500,
+		KeyRange:  1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Goroutines != 4 { // 2×Threads
+		t.Fatalf("default Goroutines = %d, want 4", res.Goroutines)
+	}
+}
+
+func TestRunSessionsWithStalled(t *testing.T) {
+	// Stalled workers hold leased sessions for the whole run; the
+	// remaining tids must still serve all active goroutines.
+	res, err := Run(Config{
+		Structure:  "hashmap",
+		Scheme:     "hyaline-s",
+		Threads:    4,
+		Stalled:    2,
+		Sessions:   true,
+		Goroutines: 8,
+		Duration:   50 * time.Millisecond,
+		Prefill:    500,
+		KeyRange:   1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("zero ops with stalled session holders")
+	}
+}
+
+func TestSessionsRejectTrim(t *testing.T) {
+	if _, err := Run(Config{
+		Structure: "hashmap", Scheme: "hyaline",
+		Threads: 2, Sessions: true, Trim: true,
+	}); err == nil {
+		t.Fatal("Sessions+Trim must error")
+	}
+}
+
 func TestRunTrim(t *testing.T) {
 	res, err := Run(Config{
 		Structure: "hashmap",

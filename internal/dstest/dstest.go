@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"hyaline/internal/arena"
+	"hyaline/internal/session"
 	"hyaline/internal/smr"
 	"hyaline/internal/trackers"
 )
@@ -91,6 +92,7 @@ func RunAll(t *testing.T, f Factory, opts Options) {
 			t.Run("ConcurrentChurn", func(t *testing.T) { ConcurrentChurn(t, f, scheme, opts) })
 			t.Run("FlushTrim", func(t *testing.T) { FlushTrim(t, f, scheme, opts) })
 			t.Run("RangeScan", func(t *testing.T) { RangeScan(t, f, scheme, opts) })
+			t.Run("SessionChurn", func(t *testing.T) { SessionChurn(t, f, scheme, opts) })
 		})
 	}
 }
@@ -639,6 +641,131 @@ func RangeScan(t *testing.T, f Factory, scheme string, opts Options) {
 	leave(tr, 0)
 	if len(want) >= 3 && len(short) != 3 {
 		t.Fatalf("early-terminated scan visited %d keys, want 3", len(short))
+	}
+}
+
+// SessionChurn drives the structure through the goroutine-transparent
+// session layer: far more goroutines than tids, each leasing a session
+// per operation from a session.Pool. A tid therefore migrates between
+// goroutines thousands of times under live insert/delete load — the
+// "threads off the hook at Leave" property end to end. Each goroutine
+// owns a key stripe it models exactly (correctness must not depend on
+// WHICH tid an operation happens to lease), all goroutines verify the
+// checksum invariant on foreign reads, and at quiescence the structure,
+// the models, the pool's lease ledger and the arena must all agree.
+func SessionChurn(t *testing.T, f Factory, scheme string, opts Options) {
+	a := arena.New(opts.ArenaCap)
+	maxThreads := 4
+	goroutines := 3 * maxThreads // strictly more goroutines than tids
+	tr := newTracker(t, scheme, a, maxThreads)
+	m := f(a, tr)
+	pool := session.NewPool(tr, maxThreads)
+
+	ops := opts.OpsPerThread / 4
+	errc := make(chan string, goroutines)
+	models := make([]map[uint64]bool, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 31))
+			model := map[uint64]bool{}
+			models[g] = model
+			for i := 0; i < ops; i++ {
+				// Own-stripe keys: key % goroutines == g.
+				key := uint64(rng.Intn(int(opts.KeySpace)))*uint64(goroutines) + uint64(g)
+				fail := ""
+				pool.Do(func(s *session.Session) {
+					s.Enter()
+					defer s.Leave()
+					tid := s.Tid()
+					switch rng.Intn(4) {
+					case 0:
+						if got := m.Insert(tid, key, checksum(key)); got == model[key] {
+							fail = fmt.Sprintf("g %d (tid %d): Insert(%d)=%v but model says %v", g, tid, key, got, model[key])
+							return
+						}
+						model[key] = true
+					case 1:
+						if got := m.Delete(tid, key); got != model[key] {
+							fail = fmt.Sprintf("g %d (tid %d): Delete(%d)=%v but model says %v", g, tid, key, got, model[key])
+							return
+						}
+						model[key] = false
+					case 2:
+						v, ok := m.Get(tid, key)
+						if ok != model[key] || (ok && v != checksum(key)) {
+							fail = fmt.Sprintf("g %d (tid %d): Get(%d)=(%d,%v) but model says %v", g, tid, key, v, ok, model[key])
+							return
+						}
+					default:
+						// Foreign read: only the checksum invariant applies.
+						fk := uint64(rng.Intn(int(opts.KeySpace) * goroutines))
+						if v, ok := m.Get(tid, fk); ok && v != checksum(fk) {
+							fail = fmt.Sprintf("g %d (tid %d): foreign Get(%d) returned %d, want %d (use-after-free?)", g, tid, fk, v, checksum(fk))
+							return
+						}
+					}
+				})
+				if fail != "" {
+					errc <- fail
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for e := range errc {
+		t.Fatal(e)
+	}
+
+	// Quiescence: every lease must have been returned.
+	if leased := pool.InUse(); leased != 0 {
+		t.Fatalf("%d tids still leased after all goroutines exited", leased)
+	}
+
+	// The final structure must match the union of per-goroutine models.
+	want := 0
+	for g, model := range models {
+		for key, present := range model {
+			var v uint64
+			var ok bool
+			pool.Do(func(s *session.Session) {
+				s.Enter()
+				defer s.Leave()
+				v, ok = m.Get(s.Tid(), key)
+			})
+			if ok != present || (ok && v != checksum(key)) {
+				t.Fatalf("g %d: post-churn key %d present=%v want %v", g, key, ok, present)
+			}
+			if present {
+				want++
+			}
+		}
+	}
+	if got := m.Len(); got != want {
+		t.Fatalf("Len = %d, models say %d", got, want)
+	}
+
+	// Reclamation accounting at quiescence, via the pool-wide drain.
+	for pass := 0; pass < 3; pass++ {
+		pool.Flush()
+	}
+	st := tr.Stats()
+	if scheme != "leaky" {
+		slack := int64(4096) + opts.LeakSlack
+		if un := st.Unreclaimed(); un > slack {
+			t.Fatalf("%d nodes unreclaimed at quiescence (slack %d)", un, slack)
+		}
+	}
+	live := a.Live()
+	lower := st.Unreclaimed()
+	upper := st.Unreclaimed() + int64(structureNodeBound(m.Len())) + opts.LeakSlack
+	if live < lower || live > upper {
+		t.Fatalf("arena live=%d outside [%d, %d] (len=%d, stats %+v)",
+			live, lower, upper, m.Len(), st)
 	}
 }
 

@@ -1,0 +1,23 @@
+// Package exenv is the iteration knob shared by the runnable examples:
+// CI smoke jobs set HYALINE_EXAMPLE_FAST=1 to run every example in a
+// fraction of a second, while a plain `go run ./examples/...` keeps the
+// full workload sizes the example texts talk about.
+package exenv
+
+import "os"
+
+// Fast reports whether the reduced-iteration mode is requested.
+// Any non-empty value except "0" enables it.
+func Fast() bool {
+	v := os.Getenv("HYALINE_EXAMPLE_FAST")
+	return v != "" && v != "0"
+}
+
+// Pick returns full normally and fast under HYALINE_EXAMPLE_FAST — for
+// iteration counts, worker totals and key spaces.
+func Pick(full, fast int) int {
+	if Fast() {
+		return fast
+	}
+	return full
+}

@@ -1,0 +1,248 @@
+// Package session makes thread ids an internal leased resource instead
+// of a public API parameter. The reclamation schemes and data structures
+// in this repository identify callers by dense tids in [0, MaxThreads) —
+// the model of the paper's evaluation framework, where worker threads
+// are long-lived and numbered up front. Go programs are not shaped like
+// that: millions of short-lived goroutines come and go, far more than
+// there are tids. A Pool bridges the two worlds by leasing tids to
+// goroutines for the duration of a few operations, the same
+// "many ephemeral workers over few durable slots" arrangement a pod
+// scheduler uses for containers over hosts.
+//
+// The allocator is lock-free: a free tid is a set bit in an atomic
+// bitmap, Acquire claims one with a single CAS, Release restores it with
+// a single atomic OR. When every tid is leased, Acquire spins briefly
+// (another goroutine is mid-operation and will release within
+// nanoseconds) and then parks on a wake channel so an oversubscribed
+// process does not burn cores busy-waiting.
+//
+// Exclusive leasing is what makes sharing a tid across goroutines safe:
+// the Release CAS and the Acquire CAS on the same bitmap word form a
+// happens-before edge, so per-tid tracker state written by the previous
+// holder is visible to the next one without further synchronization.
+package session
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"hyaline/internal/ptr"
+	"hyaline/internal/smr"
+)
+
+// acquireSpins is how many Gosched rounds Acquire burns before parking.
+// Leases are held for a handful of map operations, so a short spin
+// almost always wins; parking is the oversubscription fallback.
+const acquireSpins = 32
+
+// Pool leases the tids of one tracker to goroutines.
+type Pool struct {
+	tr   smr.Tracker
+	trim smr.Trimmer // tr, if it supports Trim
+	fl   smr.Flusher // tr, if it supports Flush
+	max  int
+
+	// free is the tid freelist: bit i of word i/64 is set iff tid i is
+	// available. Bits beyond max are never set.
+	free []atomic.Uint64
+
+	// sessions[tid] is the preallocated handle leased together with tid,
+	// so Acquire never touches the Go heap.
+	sessions []Session
+
+	// waiters counts goroutines parked (or about to park) in Acquire;
+	// Release posts one wake token when it is nonzero. The channel is
+	// buffered to max tokens: a dropped send can only happen when enough
+	// tokens are already pending to wake every possible waiter.
+	waiters atomic.Int32
+	wake    chan struct{}
+}
+
+// NewPool creates a pool leasing tids [0, maxThreads) of tr. The tracker
+// must have been constructed with at least maxThreads thread slots.
+func NewPool(tr smr.Tracker, maxThreads int) *Pool {
+	if maxThreads <= 0 {
+		panic(fmt.Sprintf("session: maxThreads must be positive, got %d", maxThreads))
+	}
+	p := &Pool{
+		tr:   tr,
+		max:  maxThreads,
+		free: make([]atomic.Uint64, (maxThreads+63)/64),
+		wake: make(chan struct{}, maxThreads),
+	}
+	p.trim, _ = tr.(smr.Trimmer)
+	p.fl, _ = tr.(smr.Flusher)
+	p.sessions = make([]Session, maxThreads)
+	for tid := range p.sessions {
+		p.sessions[tid] = Session{pool: p, tid: tid}
+	}
+	for w := range p.free {
+		n := maxThreads - w*64
+		if n >= 64 {
+			p.free[w].Store(^uint64(0))
+		} else {
+			p.free[w].Store(1<<n - 1)
+		}
+	}
+	return p
+}
+
+// MaxThreads returns the number of leasable tids.
+func (p *Pool) MaxThreads() int { return p.max }
+
+// Tracker returns the underlying reclamation scheme.
+func (p *Pool) Tracker() smr.Tracker { return p.tr }
+
+// TryAcquire leases a tid without blocking. It fails only when every
+// tid is currently leased.
+func (p *Pool) TryAcquire() (*Session, bool) {
+	for w := range p.free {
+		for {
+			old := p.free[w].Load()
+			if old == 0 {
+				break
+			}
+			bit := bits.TrailingZeros64(old)
+			if p.free[w].CompareAndSwap(old, old&^(1<<bit)) {
+				return &p.sessions[w*64+bit], true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Acquire leases a tid, spinning briefly and then parking when the pool
+// is exhausted. The returned Session is exclusively owned until Release.
+func (p *Pool) Acquire() *Session {
+	for i := 0; i < acquireSpins; i++ {
+		if s, ok := p.TryAcquire(); ok {
+			return s
+		}
+		runtime.Gosched()
+	}
+	// Park. The waiter count is published before the final bitmap check,
+	// and Release sets the bit before checking the count, so a release
+	// racing past the check below is guaranteed to observe the waiter
+	// and post a token — no lost wakeups.
+	p.waiters.Add(1)
+	defer p.waiters.Add(-1)
+	for {
+		if s, ok := p.TryAcquire(); ok {
+			return s
+		}
+		<-p.wake
+	}
+}
+
+// Release returns a leased tid to the pool. The caller must not use s
+// afterwards. Releasing a session twice panics: a double release would
+// let two goroutines hold the same tid, corrupting per-tid state.
+func (p *Pool) Release(s *Session) {
+	if s.pool != p {
+		panic("session: Release of a Session from a different pool")
+	}
+	w, bit := s.tid/64, uint64(1)<<(s.tid%64)
+	// Load/CAS instead of the value-returning atomic Or: this toolchain
+	// (go1.24.0) miscompiles the Or intrinsic when its result is used,
+	// clobbering the register that held the receiver.
+	for {
+		old := p.free[w].Load()
+		if old&bit != 0 {
+			panic(fmt.Sprintf("session: double release of tid %d", s.tid))
+		}
+		if p.free[w].CompareAndSwap(old, old|bit) {
+			break
+		}
+	}
+	if p.waiters.Load() > 0 {
+		select {
+		case p.wake <- struct{}{}:
+		default: // buffer full: enough pending tokens already
+		}
+	}
+}
+
+// Do brackets fn with an Acquire/Release pair: the leased session is
+// valid exactly for the dynamic extent of fn.
+func (p *Pool) Do(fn func(*Session)) {
+	s := p.Acquire()
+	defer p.Release(s)
+	fn(s)
+}
+
+// InUse returns the number of currently leased tids (approximate under
+// concurrency; exact at quiescence).
+func (p *Pool) InUse() int {
+	n := p.max
+	for w := range p.free {
+		n -= bits.OnesCount64(p.free[w].Load())
+	}
+	return n
+}
+
+// Flush drains pending reclamation for every tid. It must only be
+// called at quiescence (no leases outstanding, as after InUse() == 0):
+// smr.Flusher forbids flushing a tid that is inside an operation.
+// Trackers that do not implement Flusher make this a no-op.
+func (p *Pool) Flush() {
+	if p.fl == nil {
+		return
+	}
+	for tid := 0; tid < p.max; tid++ {
+		p.fl.Flush(tid)
+	}
+}
+
+// Session is one leased tid, bound to the pool's tracker. It is owned
+// by exactly one goroutine between Acquire and Release and must not be
+// retained across that window.
+type Session struct {
+	pool *Pool
+	tid  int
+}
+
+// Tid returns the leased thread id, for calling into the tid-keyed
+// low-level APIs (ds.Map, smr.Tracker) under this lease.
+func (s *Session) Tid() int { return s.tid }
+
+// Enter begins a data structure operation (smr.Tracker.Enter).
+func (s *Session) Enter() { s.pool.tr.Enter(s.tid) }
+
+// Leave ends the operation; the goroutine is off the hook (§2.4).
+func (s *Session) Leave() { s.pool.tr.Leave(s.tid) }
+
+// Alloc returns a fresh node initialized for the scheme.
+func (s *Session) Alloc() ptr.Index { return s.pool.tr.Alloc(s.tid) }
+
+// Retire hands an unlinked node to the reclamation scheme.
+func (s *Session) Retire(idx ptr.Index) { s.pool.tr.Retire(s.tid, idx) }
+
+// Dealloc frees a never-published node directly.
+func (s *Session) Dealloc(idx ptr.Index) { s.pool.tr.Dealloc(s.tid, idx) }
+
+// Protect reads the link word *addr safely (smr.Tracker.Protect).
+func (s *Session) Protect(slot int, addr *atomic.Uint64) ptr.Word {
+	return s.pool.tr.Protect(s.tid, slot, addr)
+}
+
+// Trim is the paper's §3.3 leave-then-enter without touching the slot
+// head. Schemes without Trim support fall back to a real Leave+Enter
+// pair, which is semantically equivalent (but not O(1)).
+func (s *Session) Trim() {
+	if s.pool.trim != nil {
+		s.pool.trim.Trim(s.tid)
+		return
+	}
+	s.pool.tr.Leave(s.tid)
+	s.pool.tr.Enter(s.tid)
+}
+
+// Flush drains this tid's pending reclamation (outside Enter/Leave).
+// Schemes without Flush support make it a no-op.
+func (s *Session) Flush() {
+	if s.pool.fl != nil {
+		s.pool.fl.Flush(s.tid)
+	}
+}

@@ -1,0 +1,193 @@
+package session
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/trackers"
+)
+
+func newPool(t testing.TB, scheme string, max int) (*Pool, *arena.Arena) {
+	t.Helper()
+	a := arena.New(1 << 16)
+	tr, err := trackers.New(scheme, a, trackers.Config{MaxThreads: max, Slots: 4, MinBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPool(tr, max), a
+}
+
+func TestAcquireReleasesDistinctTids(t *testing.T) {
+	const max = 70 // spans two bitmap words
+	p, _ := newPool(t, "leaky", max)
+	seen := make(map[int]bool)
+	held := make([]*Session, 0, max)
+	for i := 0; i < max; i++ {
+		s, ok := p.TryAcquire()
+		if !ok {
+			t.Fatalf("TryAcquire failed with %d/%d leased", i, max)
+		}
+		if seen[s.Tid()] {
+			t.Fatalf("tid %d leased twice", s.Tid())
+		}
+		if s.Tid() < 0 || s.Tid() >= max {
+			t.Fatalf("tid %d outside [0, %d)", s.Tid(), max)
+		}
+		seen[s.Tid()] = true
+		held = append(held, s)
+	}
+	if _, ok := p.TryAcquire(); ok {
+		t.Fatal("TryAcquire succeeded on an exhausted pool")
+	}
+	if got := p.InUse(); got != max {
+		t.Fatalf("InUse = %d, want %d", got, max)
+	}
+	for _, s := range held {
+		p.Release(s)
+	}
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after releasing everything", got)
+	}
+}
+
+func TestAcquireBlocksUntilRelease(t *testing.T) {
+	p, _ := newPool(t, "leaky", 1)
+	s := p.Acquire()
+	got := make(chan *Session)
+	go func() { got <- p.Acquire() }()
+	// The waiter must park (pool exhausted) and wake on Release.
+	p.Release(s)
+	s2 := <-got
+	if s2.Tid() != 0 {
+		t.Fatalf("woken waiter got tid %d", s2.Tid())
+	}
+	p.Release(s2)
+}
+
+func TestOversubscribedChurn(t *testing.T) {
+	// Far more goroutines than tids: every lease must stay exclusive.
+	const (
+		max        = 4
+		goroutines = 32
+		rounds     = 2000
+	)
+	p, _ := newPool(t, "hyaline", max)
+	var owners [max]atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				p.Do(func(s *Session) {
+					if n := owners[s.Tid()].Add(1); n != 1 {
+						t.Errorf("tid %d held by %d goroutines", s.Tid(), n)
+					}
+					s.Enter()
+					s.Retire(s.Alloc())
+					s.Leave()
+					owners[s.Tid()].Add(-1)
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("InUse = %d at quiescence", got)
+	}
+	p.Flush()
+	// Flush pads partial batches with dummy nodes, so lower bounds only.
+	st := p.Tracker().Stats()
+	if st.Allocated < goroutines*rounds || st.Retired < goroutines*rounds {
+		t.Fatalf("stats %+v, want >= %d allocated+retired", st, goroutines*rounds)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	p, _ := newPool(t, "leaky", 2)
+	s := p.Acquire()
+	p.Release(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release must panic")
+		}
+	}()
+	p.Release(s)
+}
+
+func TestReleaseForeignSessionPanics(t *testing.T) {
+	p1, _ := newPool(t, "leaky", 1)
+	p2, _ := newPool(t, "leaky", 1)
+	s := p1.Acquire()
+	defer p1.Release(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release on the wrong pool must panic")
+		}
+	}()
+	p2.Release(s)
+}
+
+func TestNewPoolRejectsNonPositiveMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(0) must panic")
+		}
+	}()
+	a := arena.New(64)
+	NewPool(trackers.MustNew("leaky", a, trackers.Config{MaxThreads: 1}), 0)
+}
+
+// TestSessionSurface drives every Session method through a scheme that
+// implements both Trim and Flush, and through one that implements
+// neither (exercising the fallbacks).
+func TestSessionSurface(t *testing.T) {
+	for _, scheme := range []string{"hyaline", "hp"} {
+		p, _ := newPool(t, scheme, 2)
+		p.Do(func(s *Session) {
+			s.Enter()
+			idx := s.Alloc()
+			s.Dealloc(idx)
+			idx = s.Alloc()
+			s.Retire(idx)
+			s.Trim() // native Trim on hyaline, Leave+Enter fallback on hp
+			s.Leave()
+			s.Flush()
+		})
+		p.Flush()
+		// Hyaline's Flush pads partial batches with dummy nodes, so only
+		// lower bounds hold for the counters.
+		st := p.Tracker().Stats()
+		if st.Allocated < 2 || st.Retired < 1 {
+			t.Fatalf("%s: stats %+v", scheme, st)
+		}
+	}
+}
+
+// TestLeaseHandoffPublishesState checks the happens-before edge the
+// package doc promises: unsynchronized per-tid state written under one
+// lease is visible under the next lease of the same tid. Run with -race
+// to make the check meaningful.
+func TestLeaseHandoffPublishesState(t *testing.T) {
+	p, _ := newPool(t, "epoch", 1)
+	scratch := make([]int, 1) // plain memory keyed by tid
+	var wg sync.WaitGroup
+	const rounds = 1000
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				p.Do(func(s *Session) {
+					scratch[s.Tid()]++ // exclusive by leasing alone
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if scratch[0] != 4*rounds {
+		t.Fatalf("scratch = %d, want %d (lease handoff lost writes)", scratch[0], 4*rounds)
+	}
+}

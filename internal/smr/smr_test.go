@@ -70,6 +70,58 @@ func TestDeallocKeepsInvariants(t *testing.T) {
 	}
 }
 
+func TestCountersShardAccounting(t *testing.T) {
+	// Every operation lands in its own tid's shard and nowhere else:
+	// drive each shard with a distinct operation pattern and check that
+	// the fold sees exactly the per-shard contributions.
+	c := NewCounters(4)
+	c.Alloc(0)
+	c.Alloc(0)      // shard 0: 2 allocs
+	c.Retire(1)     // shard 1: 1 retire
+	c.RetireN(2, 7) // shard 2: 7 retires
+	c.Free(2, 3)    // shard 2: 3 frees
+	c.Dealloc(3)    // shard 3: 1 retire + 1 free
+
+	want := Stats{Allocated: 2, Retired: 9, Freed: 4}
+	if s := c.Sum(); s != want {
+		t.Fatalf("Sum = %+v, want %+v", s, want)
+	}
+	// RetireN with zero must be a no-op, not a lost update.
+	c.RetireN(0, 0)
+	if s := c.Sum(); s != want {
+		t.Fatalf("RetireN(0) changed the sum: %+v", s)
+	}
+}
+
+func TestCountersRetireNConcurrent(t *testing.T) {
+	// Batch retires (RetireN) racing frees on the same shard must not
+	// lose updates — the pattern Hyaline uses when a whole batch is
+	// handed over at once.
+	const (
+		threads = 8
+		rounds  = 2000
+		batch   = 5
+	)
+	c := NewCounters(threads)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c.RetireN(tid, batch)
+				c.Free(tid, batch)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Sum()
+	wantN := int64(threads * rounds * batch)
+	if s.Retired != wantN || s.Freed != wantN || s.Unreclaimed() != 0 {
+		t.Fatalf("Sum = %+v, want %d retired+freed", s, wantN)
+	}
+}
+
 func TestStatsUnreclaimed(t *testing.T) {
 	s := Stats{Allocated: 10, Retired: 7, Freed: 3}
 	if s.Unreclaimed() != 4 {

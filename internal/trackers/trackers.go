@@ -40,26 +40,108 @@ type Config struct {
 	ScanThreshold int
 }
 
+// entry is one registered scheme.
+type entry struct {
+	// build constructs the tracker over a from the common Config.
+	build func(a *arena.Arena, cfg Config) smr.Tracker
+	// leaky marks the scheme that never reclaims (excluded from
+	// Reclaiming).
+	leaky bool
+}
+
+// hyalineVariant adapts one Hyaline variant to the common constructor
+// shape.
+func hyalineVariant(v hyaline.Variant) func(a *arena.Arena, cfg Config) smr.Tracker {
+	return func(a *arena.Arena, cfg Config) smr.Tracker {
+		return hyaline.New(a, hyaline.Config{
+			Variant:      v,
+			MaxThreads:   cfg.MaxThreads,
+			Slots:        cfg.Slots,
+			MinBatch:     cfg.MinBatch,
+			Freq:         cfg.Freq,
+			AckThreshold: cfg.AckThreshold,
+			Resize:       cfg.Resize,
+		})
+	}
+}
+
+// registry holds every reclamation scheme under its figure name;
+// Names, Reclaiming and New all derive from it, so adding a scheme
+// here is the single step that registers it everywhere.
+var registry = map[string]entry{
+	"leaky": {
+		build: func(a *arena.Arena, cfg Config) smr.Tracker { return leaky.New(a, cfg.MaxThreads) },
+		leaky: true,
+	},
+	"epoch": {
+		build: func(a *arena.Arena, cfg Config) smr.Tracker {
+			return ebr.New(a, ebr.Config{
+				MaxThreads:    cfg.MaxThreads,
+				EpochFreq:     cfg.Freq,
+				ScanThreshold: cfg.ScanThreshold,
+			})
+		},
+	},
+	"hp": {
+		build: func(a *arena.Arena, cfg Config) smr.Tracker {
+			return hp.New(a, hp.Config{
+				MaxThreads:    cfg.MaxThreads,
+				Hazards:       cfg.Hazards,
+				ScanThreshold: cfg.ScanThreshold,
+			})
+		},
+	},
+	"he": {
+		build: func(a *arena.Arena, cfg Config) smr.Tracker {
+			return he.New(a, he.Config{
+				MaxThreads:    cfg.MaxThreads,
+				Eras:          cfg.Hazards,
+				Freq:          cfg.Freq,
+				ScanThreshold: cfg.ScanThreshold,
+			})
+		},
+	},
+	"ibr": {
+		build: func(a *arena.Arena, cfg Config) smr.Tracker {
+			return ibr.New(a, ibr.Config{
+				MaxThreads:    cfg.MaxThreads,
+				Freq:          cfg.Freq,
+				ScanThreshold: cfg.ScanThreshold,
+			})
+		},
+	},
+	"hyaline":    {build: hyalineVariant(hyaline.Basic)},
+	"hyaline-1":  {build: hyalineVariant(hyaline.One)},
+	"hyaline-s":  {build: hyalineVariant(hyaline.Robust)},
+	"hyaline-1s": {build: hyalineVariant(hyaline.RobustOne)},
+}
+
+// sortedNames and reclaimingNames are derived from the registry once;
+// the accessors hand out copies so callers cannot mutate them.
+var sortedNames, reclaimingNames = func() ([]string, []string) {
+	all := make([]string, 0, len(registry))
+	for name := range registry {
+		all = append(all, name)
+	}
+	sort.Strings(all)
+	reclaiming := make([]string, 0, len(all)-1)
+	for _, name := range all {
+		if !registry[name].leaky {
+			reclaiming = append(reclaiming, name)
+		}
+	}
+	return all, reclaiming
+}()
+
 // Names returns every registered scheme name, sorted, in the paper's
 // terminology.
 func Names() []string {
-	names := []string{
-		"leaky", "epoch", "hp", "he", "ibr",
-		"hyaline", "hyaline-1", "hyaline-s", "hyaline-1s",
-	}
-	sort.Strings(names)
-	return names
+	return append([]string(nil), sortedNames...)
 }
 
 // Reclaiming returns all scheme names except leaky.
 func Reclaiming() []string {
-	var out []string
-	for _, n := range Names() {
-		if n != "leaky" {
-			out = append(out, n)
-		}
-	}
-	return out
+	return append([]string(nil), reclaimingNames...)
 }
 
 // New constructs the named tracker over a. MaxThreads must be positive
@@ -72,53 +154,11 @@ func New(name string, a *arena.Arena, cfg Config) (smr.Tracker, error) {
 	if cfg.Slots < 0 {
 		return nil, fmt.Errorf("trackers: Slots must be non-negative, got %d", cfg.Slots)
 	}
-	switch name {
-	case "leaky":
-		return leaky.New(a, cfg.MaxThreads), nil
-	case "epoch":
-		return ebr.New(a, ebr.Config{
-			MaxThreads:    cfg.MaxThreads,
-			EpochFreq:     cfg.Freq,
-			ScanThreshold: cfg.ScanThreshold,
-		}), nil
-	case "hp":
-		return hp.New(a, hp.Config{
-			MaxThreads:    cfg.MaxThreads,
-			Hazards:       cfg.Hazards,
-			ScanThreshold: cfg.ScanThreshold,
-		}), nil
-	case "he":
-		return he.New(a, he.Config{
-			MaxThreads:    cfg.MaxThreads,
-			Eras:          cfg.Hazards,
-			Freq:          cfg.Freq,
-			ScanThreshold: cfg.ScanThreshold,
-		}), nil
-	case "ibr":
-		return ibr.New(a, ibr.Config{
-			MaxThreads:    cfg.MaxThreads,
-			Freq:          cfg.Freq,
-			ScanThreshold: cfg.ScanThreshold,
-		}), nil
-	case "hyaline", "hyaline-1", "hyaline-s", "hyaline-1s":
-		variant := map[string]hyaline.Variant{
-			"hyaline":    hyaline.Basic,
-			"hyaline-1":  hyaline.One,
-			"hyaline-s":  hyaline.Robust,
-			"hyaline-1s": hyaline.RobustOne,
-		}[name]
-		return hyaline.New(a, hyaline.Config{
-			Variant:      variant,
-			MaxThreads:   cfg.MaxThreads,
-			Slots:        cfg.Slots,
-			MinBatch:     cfg.MinBatch,
-			Freq:         cfg.Freq,
-			AckThreshold: cfg.AckThreshold,
-			Resize:       cfg.Resize,
-		}), nil
-	default:
+	e, ok := registry[name]
+	if !ok {
 		return nil, fmt.Errorf("trackers: unknown scheme %q (known: %v)", name, Names())
 	}
+	return e.build(a, cfg), nil
 }
 
 // MustNew is New for tests and examples where the name is static.

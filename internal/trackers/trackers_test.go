@@ -153,6 +153,48 @@ func TestMustNewPanicsOnError(t *testing.T) {
 	MustNew("bogus", arena.New(16), Config{MaxThreads: 1})
 }
 
+func TestMustNewPanicNamesTheScheme(t *testing.T) {
+	// The panic must carry the descriptive New error (unknown scheme +
+	// the known names), not a bare failure.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustNew must panic on an unknown scheme")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic value %v (%T) is not an error", r, r)
+		}
+		if !strings.Contains(err.Error(), "no-such-scheme") ||
+			!strings.Contains(err.Error(), "hyaline-1s") {
+			t.Fatalf("panic error %q does not name the scheme and the known names", err)
+		}
+	}()
+	MustNew("no-such-scheme", arena.New(16), Config{MaxThreads: 1})
+}
+
+func TestMustNewReturnsTracker(t *testing.T) {
+	tr := MustNew("epoch", arena.New(64), Config{MaxThreads: 2})
+	if tr == nil || tr.Name() != "epoch" {
+		t.Fatalf("MustNew returned %v", tr)
+	}
+}
+
+func TestNameAccessorsReturnCopies(t *testing.T) {
+	// The registry-derived slices are cached; handing out the backing
+	// array would let one caller corrupt every later caller.
+	names := Names()
+	names[0] = "clobbered"
+	if Names()[0] == "clobbered" {
+		t.Fatal("Names exposes its backing array")
+	}
+	rec := Reclaiming()
+	rec[0] = "clobbered"
+	if Reclaiming()[0] == "clobbered" {
+		t.Fatal("Reclaiming exposes its backing array")
+	}
+}
+
 func TestConfigPlumbing(t *testing.T) {
 	// Scheme-specific knobs must reach the constructed tracker; verify
 	// observable effects for a couple of them.

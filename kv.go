@@ -1,0 +1,291 @@
+package hyaline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hyaline/internal/ds"
+	"hyaline/internal/session"
+	"hyaline/internal/trackers"
+)
+
+// KVOptions configures NewKV. The zero value picks defaults suitable
+// for a process-wide shared map.
+type KVOptions struct {
+	// MaxThreads bounds how many operations can be *in flight*
+	// concurrently — not how many goroutines may call the KV. Thread
+	// ids are leased to goroutines per operation; callers beyond
+	// MaxThreads briefly wait for a lease. Default 2×GOMAXPROCS.
+	MaxThreads int
+	// ArenaCap is the node pool capacity (virtual until touched).
+	// Default 1<<20.
+	ArenaCap int
+	// Tracker carries per-scheme tuning (slots, batch sizes, scan
+	// thresholds). Its MaxThreads field is overridden by MaxThreads
+	// above.
+	Tracker Options
+}
+
+// KV is a goroutine-transparent concurrent map: the Insert/Delete/Get/
+// Range operations are callable from any goroutine, with no thread
+// registration and no tid plumbing. Internally every call leases a tid
+// from a session.Pool for exactly the duration of the operation, so any
+// number of goroutines — far more than MaxThreads — can share one KV.
+//
+// The lease fast path is a per-P cache (a sync.Pool): a goroutine
+// usually reuses the session its P released a moment ago, touching no
+// shared state and allocating nothing. On miss it claims a tid from the
+// pool's lock-free bitmap, and only when every tid is in flight does it
+// wait.
+//
+// KV is the recommended entry point; the explicit-tid Tracker/Map API
+// remains available for callers that manage their own worker identity
+// (the benchmark harness pins tids to workers for the paper's figures).
+type KV struct {
+	structure string
+	a         *Arena
+	tr        Tracker
+	m         Map
+	r         Ranger // nil when the structure is unordered
+	pool      *session.Pool
+	byTid     []kvSession
+
+	// cache holds released sessions for per-P reuse. Entries may be
+	// stale: a session can be scavenged out of a cached entry by an
+	// exhausted acquirer (or dropped wholesale by the GC), so the
+	// per-session state word is the single arbiter of ownership —
+	// cache.Get yields a session only after winning the cached→active
+	// CAS.
+	//
+	// The cache deliberately lives here and not in session.Pool: a
+	// cached session is still leased from the pool's point of view, and
+	// keeping the bitmap a strict lease ledger is what lets Pool.InUse
+	// and Pool.Flush mean something at quiescence (the conformance
+	// suite asserts on both). KV trades that exactness for a faster
+	// steady state and repairs exhaustion by scavenging.
+	cache   sync.Pool
+	waiters atomic.Int32
+	wake    chan struct{}
+	flushMu sync.Mutex
+}
+
+// Session lease states. A tid starts free (in the pool bitmap), becomes
+// active while an operation holds it, and parks as cached between
+// operations. Cached sessions live in the sync.Pool but remain leased
+// from the bitmap's point of view; the scavenger reclaims them when the
+// bitmap runs dry, which also heals sessions the GC silently dropped
+// from the sync.Pool.
+const (
+	kvFree uint32 = iota
+	kvActive
+	kvCached
+)
+
+type kvSession struct {
+	s     *session.Session
+	state atomic.Uint32
+	_     [52]byte // pad to 64 B: one leased session per cache line
+}
+
+// NewKV builds a concurrent map: the named structure over the named
+// reclamation scheme, with all Arena/Tracker/session wiring internal.
+func NewKV(structure, scheme string, opts KVOptions) (*KV, error) {
+	maxThreads := opts.MaxThreads
+	if maxThreads <= 0 {
+		maxThreads = 2 * runtime.GOMAXPROCS(0)
+	}
+	arenaCap := opts.ArenaCap
+	if arenaCap <= 0 {
+		arenaCap = 1 << 20
+	}
+	a := NewArena(arenaCap)
+	tcfg := opts.Tracker
+	tcfg.MaxThreads = maxThreads
+	tr, err := trackers.New(scheme, a, tcfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ds.New(structure, a, tr, maxThreads)
+	if err != nil {
+		return nil, err
+	}
+	// Checked after New so an unknown structure still gets the
+	// descriptive registry error.
+	if !ds.Supports(structure, scheme) {
+		return nil, fmt.Errorf("hyaline: %s does not support scheme %s", structure, scheme)
+	}
+	kv := &KV{
+		structure: structure,
+		a:         a,
+		tr:        tr,
+		m:         m,
+		pool:      session.NewPool(tr, maxThreads),
+		byTid:     make([]kvSession, maxThreads),
+		wake:      make(chan struct{}, maxThreads),
+	}
+	kv.r, _ = m.(Ranger)
+	return kv, nil
+}
+
+// acquire leases a session for one operation.
+func (kv *KV) acquire() *kvSession {
+	if x := kv.cache.Get(); x != nil {
+		ks := x.(*kvSession)
+		if ks.state.CompareAndSwap(kvCached, kvActive) {
+			return ks
+		}
+		// Stale handle: the session was scavenged while cached (it may
+		// reappear in the cache later — the state CAS arbitrates).
+	}
+	if ks := kv.claim(); ks != nil {
+		return ks
+	}
+	return kv.acquireSlow()
+}
+
+// claim takes a never-yet-leased tid from the pool bitmap or scavenges
+// a cached one. Returns nil when every session is actively in use.
+func (kv *KV) claim() *kvSession {
+	if s, ok := kv.pool.TryAcquire(); ok {
+		ks := &kv.byTid[s.Tid()]
+		ks.s = s // idempotent: tid↔Session binding never changes
+		ks.state.Store(kvActive)
+		return ks
+	}
+	for i := range kv.byTid {
+		ks := &kv.byTid[i]
+		if ks.state.Load() == kvCached && ks.state.CompareAndSwap(kvCached, kvActive) {
+			return ks
+		}
+	}
+	return nil
+}
+
+// acquireSlow spins briefly, then parks until a release posts a wake
+// token. The waiter count is published before the final claim attempt
+// and release stores the cached state before checking the count, so a
+// racing release always observes the waiter — no lost wakeups.
+func (kv *KV) acquireSlow() *kvSession {
+	for i := 0; i < 32; i++ {
+		if ks := kv.claim(); ks != nil {
+			return ks
+		}
+		runtime.Gosched()
+	}
+	kv.waiters.Add(1)
+	defer kv.waiters.Add(-1)
+	for {
+		if ks := kv.claim(); ks != nil {
+			return ks
+		}
+		<-kv.wake
+	}
+}
+
+func (kv *KV) release(ks *kvSession) {
+	ks.state.Store(kvCached)
+	kv.cache.Put(ks)
+	if kv.waiters.Load() > 0 {
+		select {
+		case kv.wake <- struct{}{}:
+		default: // buffer full: enough pending tokens already
+		}
+	}
+}
+
+// Insert adds key→val, failing if the key exists.
+func (kv *KV) Insert(key, val uint64) bool {
+	ks := kv.acquire()
+	defer kv.release(ks)
+	s := ks.s
+	s.Enter()
+	defer s.Leave()
+	return kv.m.Insert(s.Tid(), key, val)
+}
+
+// Delete removes key, failing if it is absent.
+func (kv *KV) Delete(key uint64) bool {
+	ks := kv.acquire()
+	defer kv.release(ks)
+	s := ks.s
+	s.Enter()
+	defer s.Leave()
+	return kv.m.Delete(s.Tid(), key)
+}
+
+// Get returns the value under key.
+func (kv *KV) Get(key uint64) (uint64, bool) {
+	ks := kv.acquire()
+	defer kv.release(ks)
+	s := ks.s
+	s.Enter()
+	defer s.Leave()
+	return kv.m.Get(s.Tid(), key)
+}
+
+// Range visits every key in [lo, hi] in ascending order, calling
+// fn(key, val) until fn returns false or the range is exhausted. It
+// errors when the structure is unordered (see SupportsRange); the scan
+// guarantees of Ranger apply (sorted, duplicate-free, bounded — not an
+// atomic snapshot).
+//
+// fn must not call back into the KV: the scan holds its session lease
+// for the whole traversal, so a nested operation competes for the
+// remaining MaxThreads-1 leases and deadlocks once they are exhausted
+// (with MaxThreads 1, immediately). Collect keys and operate after
+// Range returns instead.
+func (kv *KV) Range(lo, hi uint64, fn func(key, val uint64) bool) error {
+	if kv.r == nil {
+		return fmt.Errorf("hyaline: structure %q does not support range scans (ordered structures only)", kv.structure)
+	}
+	ks := kv.acquire()
+	defer kv.release(ks)
+	s := ks.s
+	s.Enter()
+	defer s.Leave()
+	kv.r.Range(s.Tid(), lo, hi, fn)
+	return nil
+}
+
+// Len counts entries. Exact at quiescence, approximate under churn.
+func (kv *KV) Len() int { return kv.m.Len() }
+
+// Stats returns the reclamation counters accumulated since creation.
+func (kv *KV) Stats() Stats { return kv.tr.Stats() }
+
+// Live returns the number of arena nodes currently allocated: map
+// entries (plus structure-internal nodes) and retired-but-unreclaimed
+// nodes.
+func (kv *KV) Live() int64 { return kv.a.Live() }
+
+// Scheme returns the reclamation scheme name.
+func (kv *KV) Scheme() string { return kv.tr.Name() }
+
+// Structure returns the data structure name.
+func (kv *KV) Structure() string { return kv.structure }
+
+// MaxThreads returns the concurrent-operation bound (the leased-tid
+// count, not a goroutine limit).
+func (kv *KV) MaxThreads() int { return kv.pool.MaxThreads() }
+
+// Flush pushes pending reclamation to completion, best-effort. It
+// briefly leases every session (waiting out in-flight operations), so
+// it is expensive — meant for final accounting or idle housekeeping,
+// not the hot path. Like every KV operation it must not be called from
+// inside a Range callback: it waits for the callback's own lease.
+func (kv *KV) Flush() {
+	kv.flushMu.Lock()
+	defer kv.flushMu.Unlock()
+	held := make([]*kvSession, 0, kv.pool.MaxThreads())
+	for len(held) < cap(held) {
+		held = append(held, kv.acquire())
+	}
+	for _, ks := range held {
+		ks.s.Flush()
+	}
+	for _, ks := range held {
+		kv.release(ks)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package hyaline_test
+
+// raceEnabled reports whether the race detector is compiled in; tests
+// asserting exact allocation counts skip under it (the race runtime
+// inserts its own bookkeeping).
+const raceEnabled = false
