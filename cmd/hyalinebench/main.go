@@ -9,6 +9,7 @@
 //	hyalinebench -figure 8c                 # run one figure, CSV to stdout
 //	hyalinebench -figure all -duration 2s   # run everything (slow)
 //	hyalinebench -structure hashmap -scheme hyaline -threads 8   # one point
+//	hyalinebench -structure hashmap -scheme hyaline -sessions -batch 64   # batched leases
 //
 // Absolute numbers depend on the machine; the paper's claims are about
 // shapes (scheme ordering, the oversubscription crossover, robustness
@@ -54,6 +55,7 @@ func run(args []string) error {
 		trim      = fs.Bool("trim", false, "single run: use Hyaline trim (§3.3)")
 		sessions  = fs.Bool("sessions", false, "single run: drive workers through the leased-tid session layer (goroutines share -threads tids)")
 		gor       = fs.Int("goroutines", 0, "single run: session-mode worker count (0 = 2x threads; may exceed -threads)")
+		batch     = fs.Int("batch", 0, "single run: operations per lease+Enter/Leave bracket (0/1 = singleton ops)")
 		slots     = fs.Int("slots", 0, "Hyaline slot cap k (0 = next pow2 of cores)")
 		prefill   = fs.Int("prefill", 50_000, "prefill element count")
 		keyrange  = fs.Uint64("keyrange", 100_000, "key universe size")
@@ -78,7 +80,7 @@ func run(args []string) error {
 			stalled: *stalled, duration: *duration, workload: *workload,
 			rangePct: *rangePct, rangeSpan: *rangeSpan,
 			trim: *trim, sessions: *sessions, goroutines: *gor,
-			slots: *slots, prefill: *prefill,
+			batch: *batch, slots: *slots, prefill: *prefill,
 			keyrange: *keyrange, arenaCap: *arenaCap,
 		})
 	default:
@@ -175,7 +177,7 @@ type singleConfig struct {
 	structure, scheme, workload string
 	threads, stalled, slots     int
 	prefill, arenaCap           int
-	rangePct, goroutines        int
+	rangePct, goroutines, batch int
 	rangeSpan, keyrange         uint64
 	duration                    time.Duration
 	trim, sessions              bool
@@ -214,6 +216,7 @@ func runSingle(c singleConfig) error {
 		Trim:       c.trim,
 		Sessions:   c.sessions,
 		Goroutines: c.goroutines,
+		BatchSize:  c.batch,
 		Prefill:    c.prefill,
 		KeyRange:   c.keyrange,
 		ArenaCap:   c.arenaCap,

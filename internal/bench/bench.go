@@ -96,6 +96,12 @@ type Config struct {
 	// Goroutines is the worker count in session mode (default
 	// 2×Threads). Ignored unless Sessions is set.
 	Goroutines int
+	// BatchSize groups operations into batches of this size: one session
+	// lease (session mode) and one Enter/Leave bracket per batch instead
+	// of per operation, re-armed every session.BatchChunk ops so big
+	// batches do not starve reclamation — the measurement analogue of
+	// the KV batch API. 0 or 1 means singleton operations.
+	BatchSize int
 	// Pin locks workers to OS threads, approximating the paper's pthread
 	// pinning.
 	Pin bool
@@ -132,6 +138,9 @@ func (c *Config) fill() {
 	if c.Sessions && c.Goroutines <= 0 {
 		c.Goroutines = 2 * c.Threads
 	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 1
+	}
 }
 
 // Result is one measured data point.
@@ -143,8 +152,10 @@ type Result struct {
 	// Goroutines is the session-mode worker count (0 when workers own
 	// their tids statically).
 	Goroutines int
-	Workload   string
-	Duration   time.Duration
+	// BatchSize is the operations-per-bracket grouping (1 = singleton).
+	BatchSize int
+	Workload  string
+	Duration  time.Duration
 
 	Ops            int64
 	ScannedKeys    int64   // keys visited by range scans (scan-mix only)
@@ -161,6 +172,9 @@ func (r Result) String() string {
 		r.ThroughputMops, r.AvgUnreclaimed)
 	if r.Goroutines > 0 {
 		row += fmt.Sprintf("  sessions(gor=%d)", r.Goroutines)
+	}
+	if r.BatchSize > 1 {
+		row += fmt.Sprintf("  batch=%d", r.BatchSize)
 	}
 	return row
 }
@@ -269,13 +283,16 @@ func Run(cfg Config) (Result, error) {
 			ranger, _ := m.(ds.Ranger)
 			var scanned int64 // keeps the scan body from being a no-op
 			tid := w
+			batch := cfg.BatchSize
 			if cfg.Trim {
 				tr.Enter(tid)
 			}
 			ops := int64(0)
+			// Each loop iteration is one batch: one lease and one
+			// Enter/Leave bracket cover batch operations (with batch == 1
+			// this is the classic per-op bracket). Trim mode keeps its
+			// run-long bracket and trims once per batch instead of per op.
 			for !stop.Load() {
-				key := uint64(rng.Int63n(int64(cfg.KeyRange)))
-				mix := rng.Intn(100)
 				var s *session.Session
 				if pool != nil {
 					s = pool.Acquire()
@@ -284,18 +301,37 @@ func Run(cfg Config) (Result, error) {
 				if !cfg.Trim {
 					tr.Enter(tid)
 				}
-				switch {
-				case mix < cfg.Workload.InsertPct:
-					m.Insert(tid, key, key*31+7)
-				case mix < cfg.Workload.InsertPct+cfg.Workload.DeletePct:
-					m.Delete(tid, key)
-				case mix < cfg.Workload.InsertPct+cfg.Workload.DeletePct+cfg.Workload.RangePct:
-					ranger.Range(tid, key, key+cfg.RangeSpan, func(_, _ uint64) bool {
-						scanned++
-						return true
-					})
-				default:
-					m.Get(tid, key)
+				for b := 0; b < batch; b++ {
+					if b > 0 && b%session.BatchChunk == 0 {
+						// A huge batch must not overshoot the measurement
+						// window by more than one chunk.
+						if stop.Load() {
+							break
+						}
+						// Re-arm mid-batch so reclamation is never starved.
+						if trimmer != nil {
+							trimmer.Trim(tid)
+						} else {
+							tr.Leave(tid)
+							tr.Enter(tid)
+						}
+					}
+					key := uint64(rng.Int63n(int64(cfg.KeyRange)))
+					mix := rng.Intn(100)
+					switch {
+					case mix < cfg.Workload.InsertPct:
+						m.Insert(tid, key, key*31+7)
+					case mix < cfg.Workload.InsertPct+cfg.Workload.DeletePct:
+						m.Delete(tid, key)
+					case mix < cfg.Workload.InsertPct+cfg.Workload.DeletePct+cfg.Workload.RangePct:
+						ranger.Range(tid, key, key+cfg.RangeSpan, func(_, _ uint64) bool {
+							scanned++
+							return true
+						})
+					default:
+						m.Get(tid, key)
+					}
+					ops++
 				}
 				if cfg.Trim {
 					trimmer.Trim(tid)
@@ -305,7 +341,6 @@ func Run(cfg Config) (Result, error) {
 				if s != nil {
 					pool.Release(s)
 				}
-				ops++
 			}
 			if cfg.Trim {
 				tr.Leave(tid)
@@ -367,6 +402,7 @@ sampling:
 		Threads:        cfg.Threads,
 		Stalled:        cfg.Stalled,
 		Goroutines:     goroutines,
+		BatchSize:      cfg.BatchSize,
 		Workload:       cfg.Workload.Name(),
 		Duration:       elapsed,
 		Ops:            ops,

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -185,6 +186,90 @@ func TestRunSessionsWithStalled(t *testing.T) {
 	}
 	if res.Ops == 0 {
 		t.Fatal("zero ops with stalled session holders")
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	// Batched brackets in both tid modes, including a batch larger than
+	// the internal chunk (forcing the mid-batch re-arm) and a scheme
+	// without Trim (forcing the Leave+Enter fallback).
+	for _, tc := range []struct {
+		scheme   string
+		sessions bool
+		batch    int
+	}{
+		{"hyaline", true, 16},
+		{"hyaline", false, 256}, // > batchChunk: trims mid-batch
+		{"hp", true, 100},       // no Trimmer: Leave+Enter re-arm
+	} {
+		res, err := Run(Config{
+			Structure: "hashmap",
+			Scheme:    tc.scheme,
+			Threads:   4,
+			Sessions:  tc.sessions,
+			BatchSize: tc.batch,
+			Duration:  50 * time.Millisecond,
+			Prefill:   1000,
+			KeyRange:  2000,
+		})
+		if err != nil {
+			t.Fatalf("%s batch=%d: %v", tc.scheme, tc.batch, err)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("%s batch=%d: zero ops", tc.scheme, tc.batch)
+		}
+		if res.BatchSize != tc.batch {
+			t.Fatalf("%s: result BatchSize = %d, want %d", tc.scheme, res.BatchSize, tc.batch)
+		}
+		if !strings.Contains(res.String(), fmt.Sprintf("batch=%d", tc.batch)) {
+			t.Fatalf("%s: batch size missing from row: %s", tc.scheme, res)
+		}
+	}
+}
+
+func TestBatchFiguresRegistered(t *testing.T) {
+	for _, id := range []string{"19", "20"} {
+		f, err := FigureByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singleton, batched := false, false
+		for _, c := range f.Curves {
+			if !c.Sessions {
+				t.Fatalf("figure %s curve %s does not use the session layer", id, c.Label)
+			}
+			if c.Batch <= 1 {
+				singleton = true
+			} else {
+				batched = true
+			}
+		}
+		if !singleton || !batched {
+			t.Fatalf("figure %s must compare singleton and batched curves", id)
+		}
+	}
+}
+
+func TestBatchFigureRunTiny(t *testing.T) {
+	f, err := FigureByID("19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Curves = []Curve{
+		{Label: "singleton", Scheme: "hyaline", Sessions: true, Batch: 1},
+		{Label: "batch64", Scheme: "hyaline", Sessions: true, Batch: 64},
+	}
+	tab, err := f.Run(RunOptions{
+		Duration: 30 * time.Millisecond,
+		Xs:       []int{2},
+		Prefill:  500,
+		KeyRange: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series["singleton"]) != 1 || len(tab.Series["batch64"]) != 1 {
+		t.Fatalf("missing series points: %+v", tab.Series)
 	}
 }
 

@@ -34,6 +34,11 @@ type Curve struct {
 	Slots int
 	// Resize enables Hyaline-S adaptive resizing.
 	Resize bool
+	// Sessions drives this curve through the leased-tid session layer.
+	Sessions bool
+	// Batch groups operations into brackets of this size (0/1 =
+	// singleton; see Config.BatchSize).
+	Batch int
 }
 
 // Figure is a runnable experiment specification.
@@ -161,6 +166,36 @@ func AllFigures() []Figure {
 	}
 	addScan("17", "throughput")
 	addScan("18", "unreclaimed")
+	// Figures 19/20 are reproduction extensions: batched operations
+	// through the session layer. One lease + one Enter/Leave bracket per
+	// batch amortizes the per-op session cost (figure 19, throughput);
+	// the per-chunk trim keeps retired garbage bounded even with big
+	// batches (figure 20, unreclaimed).
+	batchCurves := []Curve{
+		{Label: "hyaline-singleton", Scheme: "hyaline", Sessions: true, Batch: 1},
+		{Label: "hyaline-batch16", Scheme: "hyaline", Sessions: true, Batch: 16},
+		{Label: "hyaline-batch64", Scheme: "hyaline", Sessions: true, Batch: 64},
+		{Label: "hyaline-batch256", Scheme: "hyaline", Sessions: true, Batch: 256},
+		{Label: "epoch-singleton", Scheme: "epoch", Sessions: true, Batch: 1},
+		{Label: "epoch-batch64", Scheme: "epoch", Sessions: true, Batch: 64},
+	}
+	figs = append(figs, Figure{
+		ID:        "19",
+		Caption:   "x86-64: hashmap throughput, batched vs singleton leased operations (reproduction extension)",
+		Structure: "hashmap",
+		Workload:  WriteHeavy,
+		Metric:    "throughput",
+		Sweep:     "threads",
+		Curves:    batchCurves,
+	}, Figure{
+		ID:        "20",
+		Caption:   "x86-64: hashmap unreclaimed objects, batched vs singleton leased operations (reproduction extension)",
+		Structure: "hashmap",
+		Workload:  WriteHeavy,
+		Metric:    "unreclaimed",
+		Sweep:     "threads",
+		Curves:    batchCurves,
+	})
 	return figs
 }
 
@@ -265,6 +300,8 @@ func (f Figure) Run(opts RunOptions) (Table, error) {
 				Workload:  f.Workload,
 				Duration:  opts.Duration,
 				Trim:      curve.Trim,
+				Sessions:  curve.Sessions,
+				BatchSize: curve.Batch,
 				Prefill:   opts.Prefill,
 				KeyRange:  opts.KeyRange,
 				Tracker: trackers.Config{

@@ -16,8 +16,26 @@
 // nanoseconds) and then parks on a wake channel so an oversubscribed
 // process does not burn cores busy-waiting.
 //
+// # Freelist word layout
+//
+// The bitmap is sharded so that concurrent acquirers do not serialize on
+// one CAS word. Each shard is a single atomic.Uint64 padded to its own
+// cache line and owns a contiguous run of at most 64 tids: bit j of
+// shard i covers tid shards[i].base+j. The shard count is derived from
+// GOMAXPROCS at construction — one word per P, so under a balanced load
+// every P CASes a different cache line — floored at ceil(max/64) (each
+// shard word holds at most 64 tids) and capped at max (each shard owns
+// at least one tid). Tids are split as evenly as possible: the first
+// max%shards shards own one extra tid.
+//
+// Acquire picks a pseudo-random home shard (a per-thread PRNG draw, no
+// shared state) and claims the lowest free bit there; when the home
+// shard's word is empty it steals, scanning the remaining shards in
+// order. Release always returns a tid to the shard that owns it, so a
+// tid's freelist bit lives at a fixed address for the pool's lifetime.
+//
 // Exclusive leasing is what makes sharing a tid across goroutines safe:
-// the Release CAS and the Acquire CAS on the same bitmap word form a
+// the Release CAS and the Acquire CAS on the same shard word form a
 // happens-before edge, so per-tid tracker state written by the previous
 // holder is visible to the next one without further synchronization.
 package session
@@ -25,6 +43,7 @@ package session
 import (
 	"fmt"
 	"math/bits"
+	"math/rand/v2"
 	"runtime"
 	"sync/atomic"
 
@@ -37,6 +56,22 @@ import (
 // almost always wins; parking is the oversubscription fallback.
 const acquireSpins = 32
 
+// BatchChunk is how many operations a batched caller should run under
+// one Enter bracket before re-arming it (Trim where supported, a real
+// Leave+Enter otherwise): the chunk bounds how long one batch pins
+// retired nodes. The KV batch API and the bench harness share this
+// value so the harness always measures the shipped batching behaviour.
+const BatchChunk = 64
+
+// freeShard is one word of the sharded freelist: bit j is set iff tid
+// base+j is free. The padding gives every shard its own cache line so
+// acquirers hashing to different shards never false-share.
+type freeShard struct {
+	bits atomic.Uint64
+	base uint32 // first tid this shard owns
+	_    [52]byte
+}
+
 // Pool leases the tids of one tracker to goroutines.
 type Pool struct {
 	tr   smr.Tracker
@@ -44,9 +79,8 @@ type Pool struct {
 	fl   smr.Flusher // tr, if it supports Flush
 	max  int
 
-	// free is the tid freelist: bit i of word i/64 is set iff tid i is
-	// available. Bits beyond max are never set.
-	free []atomic.Uint64
+	// shards is the tid freelist (see the package doc's word layout).
+	shards []freeShard
 
 	// sessions[tid] is the preallocated handle leased together with tid,
 	// so Acquire never touches the Go heap.
@@ -63,28 +97,63 @@ type Pool struct {
 // NewPool creates a pool leasing tids [0, maxThreads) of tr. The tracker
 // must have been constructed with at least maxThreads thread slots.
 func NewPool(tr smr.Tracker, maxThreads int) *Pool {
+	return newPoolShards(tr, maxThreads, deriveShards(maxThreads))
+}
+
+// deriveShards picks the freelist shard count for maxThreads tids: one
+// word per P, floored at the word count a flat bitmap would need (a
+// shard word holds at most 64 tids) and capped at maxThreads (a shard
+// owns at least one tid).
+func deriveShards(maxThreads int) int {
+	s := runtime.GOMAXPROCS(0)
+	if s > maxThreads {
+		s = maxThreads
+	}
+	if w := (maxThreads + 63) / 64; s < w {
+		s = w
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// newPoolShards is NewPool with an explicit shard count (tests pin it so
+// the steal path is exercised regardless of the machine's GOMAXPROCS).
+func newPoolShards(tr smr.Tracker, maxThreads, shards int) *Pool {
 	if maxThreads <= 0 {
 		panic(fmt.Sprintf("session: maxThreads must be positive, got %d", maxThreads))
 	}
+	if shards < (maxThreads+63)/64 || shards > maxThreads {
+		panic(fmt.Sprintf("session: %d shards cannot hold %d tids at <=64 per word and >=1 each", shards, maxThreads))
+	}
 	p := &Pool{
-		tr:   tr,
-		max:  maxThreads,
-		free: make([]atomic.Uint64, (maxThreads+63)/64),
-		wake: make(chan struct{}, maxThreads),
+		tr:     tr,
+		max:    maxThreads,
+		shards: make([]freeShard, shards),
+		wake:   make(chan struct{}, maxThreads),
 	}
 	p.trim, _ = tr.(smr.Trimmer)
 	p.fl, _ = tr.(smr.Flusher)
 	p.sessions = make([]Session, maxThreads)
-	for tid := range p.sessions {
-		p.sessions[tid] = Session{pool: p, tid: tid}
-	}
-	for w := range p.free {
-		n := maxThreads - w*64
-		if n >= 64 {
-			p.free[w].Store(^uint64(0))
-		} else {
-			p.free[w].Store(1<<n - 1)
+	q, r := maxThreads/shards, maxThreads%shards
+	base := 0
+	for i := range p.shards {
+		n := q
+		if i < r {
+			n++
 		}
+		sh := &p.shards[i]
+		sh.base = uint32(base)
+		if n == 64 {
+			sh.bits.Store(^uint64(0))
+		} else {
+			sh.bits.Store(1<<n - 1)
+		}
+		for j := 0; j < n; j++ {
+			p.sessions[base+j] = Session{pool: p, tid: base + j, shard: i, bit: 1 << uint(j)}
+		}
+		base += n
 	}
 	return p
 }
@@ -96,17 +165,26 @@ func (p *Pool) MaxThreads() int { return p.max }
 func (p *Pool) Tracker() smr.Tracker { return p.tr }
 
 // TryAcquire leases a tid without blocking. It fails only when every
-// tid is currently leased.
+// tid is currently leased. The scan starts at a pseudo-random home shard
+// and steals from the others on empty, so concurrent acquirers spread
+// over the shard words instead of serializing on the first one.
 func (p *Pool) TryAcquire() (*Session, bool) {
-	for w := range p.free {
+	home := 0
+	if len(p.shards) > 1 {
+		// rand/v2's global generator is per-thread state: no shared word
+		// is touched picking the home shard.
+		home = int(rand.Uint64N(uint64(len(p.shards))))
+	}
+	for k := 0; k < len(p.shards); k++ {
+		sh := &p.shards[(home+k)%len(p.shards)]
 		for {
-			old := p.free[w].Load()
+			old := sh.bits.Load()
 			if old == 0 {
 				break
 			}
 			bit := bits.TrailingZeros64(old)
-			if p.free[w].CompareAndSwap(old, old&^(1<<bit)) {
-				return &p.sessions[w*64+bit], true
+			if sh.bits.CompareAndSwap(old, old&^(1<<bit)) {
+				return &p.sessions[int(sh.base)+bit], true
 			}
 		}
 	}
@@ -122,10 +200,10 @@ func (p *Pool) Acquire() *Session {
 		}
 		runtime.Gosched()
 	}
-	// Park. The waiter count is published before the final bitmap check,
+	// Park. The waiter count is published before the final shard scan,
 	// and Release sets the bit before checking the count, so a release
 	// racing past the check below is guaranteed to observe the waiter
-	// and post a token — no lost wakeups.
+	// and post a token — no lost wakeups, whichever shard releases.
 	p.waiters.Add(1)
 	defer p.waiters.Add(-1)
 	for {
@@ -143,16 +221,16 @@ func (p *Pool) Release(s *Session) {
 	if s.pool != p {
 		panic("session: Release of a Session from a different pool")
 	}
-	w, bit := s.tid/64, uint64(1)<<(s.tid%64)
+	sh := &p.shards[s.shard]
 	// Load/CAS instead of the value-returning atomic Or: this toolchain
 	// (go1.24.0) miscompiles the Or intrinsic when its result is used,
 	// clobbering the register that held the receiver.
 	for {
-		old := p.free[w].Load()
-		if old&bit != 0 {
+		old := sh.bits.Load()
+		if old&s.bit != 0 {
 			panic(fmt.Sprintf("session: double release of tid %d", s.tid))
 		}
-		if p.free[w].CompareAndSwap(old, old|bit) {
+		if sh.bits.CompareAndSwap(old, old|s.bit) {
 			break
 		}
 	}
@@ -176,11 +254,15 @@ func (p *Pool) Do(fn func(*Session)) {
 // concurrency; exact at quiescence).
 func (p *Pool) InUse() int {
 	n := p.max
-	for w := range p.free {
-		n -= bits.OnesCount64(p.free[w].Load())
+	for i := range p.shards {
+		n -= bits.OnesCount64(p.shards[i].bits.Load())
 	}
 	return n
 }
+
+// Shards returns the freelist shard count (see the package doc's word
+// layout) — diagnostic, for tests and tuning.
+func (p *Pool) Shards() int { return len(p.shards) }
 
 // Flush drains pending reclamation for every tid. It must only be
 // called at quiescence (no leases outstanding, as after InUse() == 0):
@@ -199,8 +281,10 @@ func (p *Pool) Flush() {
 // by exactly one goroutine between Acquire and Release and must not be
 // retained across that window.
 type Session struct {
-	pool *Pool
-	tid  int
+	pool  *Pool
+	tid   int
+	shard int    // index of the freelist shard owning tid
+	bit   uint64 // tid's bit within that shard's word
 }
 
 // Tid returns the leased thread id, for calling into the tid-keyed

@@ -105,6 +105,151 @@ func TestOversubscribedChurn(t *testing.T) {
 	}
 }
 
+func TestDeriveShardsBounds(t *testing.T) {
+	for _, max := range []int{1, 2, 7, 63, 64, 65, 128, 500} {
+		s := deriveShards(max)
+		if s < 1 || s > max {
+			t.Fatalf("deriveShards(%d) = %d outside [1, %d]", max, s, max)
+		}
+		if w := (max + 63) / 64; s < w {
+			t.Fatalf("deriveShards(%d) = %d cannot hold %d tids at 64/word", max, s, w)
+		}
+	}
+}
+
+func TestShardLayoutCoversAllTids(t *testing.T) {
+	// Every (max, shards) split must lease each tid exactly once and
+	// report the shard count it was built with.
+	for _, tc := range []struct{ max, shards int }{
+		{1, 1}, {8, 1}, {8, 8}, {70, 2}, {70, 7}, {130, 3}, {64, 64},
+	} {
+		a := arena.New(1 << 16)
+		tr := trackers.MustNew("leaky", a, trackers.Config{MaxThreads: tc.max})
+		p := newPoolShards(tr, tc.max, tc.shards)
+		if got := p.Shards(); got != tc.shards {
+			t.Fatalf("max=%d: Shards() = %d, want %d", tc.max, got, tc.shards)
+		}
+		seen := make(map[int]bool)
+		for i := 0; i < tc.max; i++ {
+			s, ok := p.TryAcquire()
+			if !ok {
+				t.Fatalf("max=%d shards=%d: TryAcquire failed at %d", tc.max, tc.shards, i)
+			}
+			if s.Tid() < 0 || s.Tid() >= tc.max || seen[s.Tid()] {
+				t.Fatalf("max=%d shards=%d: bad or repeated tid %d", tc.max, tc.shards, s.Tid())
+			}
+			seen[s.Tid()] = true
+		}
+		if _, ok := p.TryAcquire(); ok {
+			t.Fatalf("max=%d shards=%d: lease beyond capacity", tc.max, tc.shards)
+		}
+	}
+}
+
+func TestNewPoolShardsRejectsBadSplit(t *testing.T) {
+	a := arena.New(64)
+	tr := trackers.MustNew("leaky", a, trackers.Config{MaxThreads: 1})
+	for _, tc := range []struct{ max, shards int }{
+		{130, 2}, // 2 words cannot hold 130 tids
+		{2, 3},   // a shard would own zero tids
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("newPoolShards(max=%d, shards=%d) must panic", tc.max, tc.shards)
+				}
+			}()
+			newPoolShards(tr, tc.max, tc.shards)
+		}()
+	}
+}
+
+// TestShardedExhaustionParksAndWakes exhausts every shard, parks a
+// waiter, and checks that a release on ANY shard — here the last one,
+// which a single-word waiter loop would never revisit — wakes it.
+func TestShardedExhaustionParksAndWakes(t *testing.T) {
+	const max, shards = 8, 4
+	a := arena.New(1 << 16)
+	tr := trackers.MustNew("leaky", a, trackers.Config{MaxThreads: max})
+	p := newPoolShards(tr, max, shards)
+
+	held := make([]*Session, 0, max)
+	for i := 0; i < max; i++ {
+		s, ok := p.TryAcquire()
+		if !ok {
+			t.Fatalf("TryAcquire failed with %d/%d leased", i, max)
+		}
+		held = append(held, s)
+	}
+	if _, ok := p.TryAcquire(); ok {
+		t.Fatal("TryAcquire succeeded with all shards empty")
+	}
+
+	got := make(chan *Session)
+	go func() { got <- p.Acquire() }()
+
+	// Free the highest tid: it lives in the last shard, so the wake path
+	// must not assume shard 0.
+	var last *Session
+	for _, s := range held {
+		if last == nil || s.Tid() > last.Tid() {
+			last = s
+		}
+	}
+	p.Release(last)
+	woken := <-got
+	if woken.Tid() != last.Tid() {
+		t.Fatalf("woken waiter leased tid %d, want %d", woken.Tid(), last.Tid())
+	}
+	p.Release(woken)
+	for _, s := range held {
+		if s != last {
+			p.Release(s)
+		}
+	}
+	if n := p.InUse(); n != 0 {
+		t.Fatalf("InUse = %d after releasing everything", n)
+	}
+}
+
+// TestStealOnEmptyNeverDoubleLeases hammers a deliberately lopsided
+// pool (more shards than a flat bitmap needs, so most acquisitions
+// steal) and asserts exclusive ownership of every lease. Run with -race
+// for the full check.
+func TestStealOnEmptyNeverDoubleLeases(t *testing.T) {
+	const (
+		max        = 6
+		shards     = 6 // one tid per shard: every collision must steal
+		goroutines = 24
+		rounds     = 2000
+	)
+	a := arena.New(1 << 16)
+	tr := trackers.MustNew("epoch", a, trackers.Config{MaxThreads: max})
+	p := newPoolShards(tr, max, shards)
+	var owners [max]atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				p.Do(func(s *Session) {
+					if n := owners[s.Tid()].Add(1); n != 1 {
+						t.Errorf("tid %d held by %d goroutines", s.Tid(), n)
+					}
+					s.Enter()
+					s.Leave()
+					owners[s.Tid()].Add(-1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("InUse = %d at quiescence", got)
+	}
+}
+
 func TestDoubleReleasePanics(t *testing.T) {
 	p, _ := newPool(t, "leaky", 2)
 	s := p.Acquire()

@@ -40,6 +40,11 @@ type KVOptions struct {
 // pool's lock-free bitmap, and only when every tid is in flight does it
 // wait.
 //
+// When several operations are available at once, the batch API —
+// Apply, InsertBatch, DeleteBatch, GetBatch — runs them under a single
+// lease and a single (chunked) Enter/Leave bracket, amortizing the
+// per-operation session cost.
+//
 // KV is the recommended entry point; the explicit-tid Tracker/Map API
 // remains available for callers that manage their own worker identity
 // (the benchmark harness pins tids to workers for the paper's figures).

@@ -1,0 +1,179 @@
+package hyaline
+
+import (
+	"fmt"
+
+	"hyaline/internal/session"
+)
+
+// OpKind selects what one batched Op does. The zero value is OpGet, so
+// a zero Op is a harmless read of key 0.
+type OpKind uint8
+
+const (
+	// OpGet looks the key up; Result carries (Val, OK).
+	OpGet OpKind = iota
+	// OpInsert adds Key→Val; Result.OK reports whether the key was new.
+	OpInsert
+	// OpDelete removes Key; Result.OK reports whether it was present.
+	OpDelete
+)
+
+// String names the kind for diagnostics.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one operation of a batch.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  uint64 // used by OpInsert only
+}
+
+// Result is the outcome of one batched operation. For OpGet, Val is the
+// value found (zero when absent); for OpInsert and OpDelete, Val is
+// zero and OK carries the mutation's success.
+type Result struct {
+	Val uint64
+	OK  bool
+}
+
+// batchChunk is how many batched operations run under one Enter bracket
+// before the session is trimmed (Hyaline's §3.3 leave-then-enter, or a
+// real Leave+Enter on schemes without Trim). Chunking bounds how long a
+// big batch pins retired nodes: reclamation progresses every chunk
+// instead of stalling for the whole batch.
+const batchChunk = session.BatchChunk
+
+// batchTrim re-arms the bracket between chunks of one batch.
+func batchTrim(ks *kvSession, i int) {
+	if i > 0 && i%batchChunk == 0 {
+		ks.s.Trim()
+	}
+}
+
+// Apply runs ops in order under a single session lease and a single
+// (chunked) Enter/Leave bracket, and returns one Result per op. The
+// per-operation overhead of leasing a tid and entering the reclamation
+// scheme is paid once per batch instead of once per op, so large
+// batches approach the raw explicit-tid cost. Ops in one batch execute
+// atomically with respect to nothing — other goroutines' operations
+// interleave freely between (and inside) batches; a batch is an
+// amortization unit, not a transaction.
+//
+// An empty batch returns nil without leasing. An Op with an unknown
+// Kind panics: it is a programming error, and silently skipping it
+// would desynchronize ops and results.
+func (kv *KV) Apply(ops []Op) []Result {
+	if len(ops) == 0 {
+		return nil
+	}
+	return kv.ApplyInto(make([]Result, 0, len(ops)), ops)
+}
+
+// ApplyInto is Apply appending into dst, for callers that reuse a
+// result buffer across batches: with dst capacity >= len(ops) the whole
+// batch touches no Go heap.
+func (kv *KV) ApplyInto(dst []Result, ops []Op) []Result {
+	if len(ops) == 0 {
+		return dst
+	}
+	ks := kv.acquire()
+	defer kv.release(ks)
+	s := ks.s
+	tid := s.Tid()
+	s.Enter()
+	defer s.Leave()
+	for i, op := range ops {
+		batchTrim(ks, i)
+		var r Result
+		switch op.Kind {
+		case OpGet:
+			r.Val, r.OK = kv.m.Get(tid, op.Key)
+		case OpInsert:
+			r.OK = kv.m.Insert(tid, op.Key, op.Val)
+		case OpDelete:
+			r.OK = kv.m.Delete(tid, op.Key)
+		default:
+			panic(fmt.Sprintf("hyaline: Apply op %d has unknown kind %s", i, op.Kind))
+		}
+		dst = append(dst, r)
+	}
+	return dst
+}
+
+// InsertBatch adds keys[i]→vals[i] for every i under one session lease
+// and one chunked Enter/Leave bracket. ok[i] reports whether keys[i]
+// was newly inserted. Panics when the slices differ in length.
+func (kv *KV) InsertBatch(keys, vals []uint64) []bool {
+	if len(keys) != len(vals) {
+		panic(fmt.Sprintf("hyaline: InsertBatch with %d keys but %d vals", len(keys), len(vals)))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	ok := make([]bool, len(keys))
+	ks := kv.acquire()
+	defer kv.release(ks)
+	s := ks.s
+	tid := s.Tid()
+	s.Enter()
+	defer s.Leave()
+	for i, key := range keys {
+		batchTrim(ks, i)
+		ok[i] = kv.m.Insert(tid, key, vals[i])
+	}
+	return ok
+}
+
+// DeleteBatch removes every key under one session lease and one chunked
+// Enter/Leave bracket. ok[i] reports whether keys[i] was present.
+func (kv *KV) DeleteBatch(keys []uint64) []bool {
+	if len(keys) == 0 {
+		return nil
+	}
+	ok := make([]bool, len(keys))
+	ks := kv.acquire()
+	defer kv.release(ks)
+	s := ks.s
+	tid := s.Tid()
+	s.Enter()
+	defer s.Leave()
+	for i, key := range keys {
+		batchTrim(ks, i)
+		ok[i] = kv.m.Delete(tid, key)
+	}
+	return ok
+}
+
+// GetBatch looks every key up under one session lease and one chunked
+// Enter/Leave bracket, appending one Result per key to dst (pass nil to
+// allocate). Reusing dst across calls (dst = kv.GetBatch(dst[:0], keys))
+// keeps the whole read batch off the Go heap — the batch analogue of
+// Get's allocation-free hot path.
+func (kv *KV) GetBatch(dst []Result, keys []uint64) []Result {
+	if len(keys) == 0 {
+		return dst
+	}
+	ks := kv.acquire()
+	defer kv.release(ks)
+	s := ks.s
+	tid := s.Tid()
+	s.Enter()
+	defer s.Leave()
+	for i, key := range keys {
+		batchTrim(ks, i)
+		v, ok := kv.m.Get(tid, key)
+		dst = append(dst, Result{Val: v, OK: ok})
+	}
+	return dst
+}
