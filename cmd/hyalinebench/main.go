@@ -10,6 +10,7 @@
 //	hyalinebench -figure all -duration 2s   # run everything (slow)
 //	hyalinebench -structure hashmap -scheme hyaline -threads 8   # one point
 //	hyalinebench -structure hashmap -scheme hyaline -sessions -batch 64   # batched leases
+//	hyalinebench -structure hashmap -scheme hyaline -conns 16 -pipeline 16   # client/server mode
 //
 // Absolute numbers depend on the machine; the paper's claims are about
 // shapes (scheme ordering, the oversubscription crossover, robustness
@@ -28,6 +29,10 @@ import (
 	"hyaline/internal/arena"
 	"hyaline/internal/bench"
 	"hyaline/internal/trackers"
+
+	// Registers the client/server bench runner with internal/bench
+	// (figures 21/22 and the -conns single-run mode).
+	_ "hyaline/internal/server"
 )
 
 func main() {
@@ -54,8 +59,10 @@ func run(args []string) error {
 		rangeSpan = fs.Uint64("rangespan", 128, "single run: key width of one range scan")
 		trim      = fs.Bool("trim", false, "single run: use Hyaline trim (§3.3)")
 		sessions  = fs.Bool("sessions", false, "single run: drive workers through the leased-tid session layer (goroutines share -threads tids)")
-		gor       = fs.Int("goroutines", 0, "single run: session-mode worker count (0 = 2x threads; may exceed -threads)")
+		gor       = fs.Int("goroutines", 0, "single run: session-mode worker count (0 or -1 = auto, 2x threads; may exceed -threads)")
 		batch     = fs.Int("batch", 0, "single run: operations per lease+Enter/Leave bracket (0/1 = singleton ops)")
+		conns     = fs.Int("conns", 0, "single run: client/server mode — drive an in-process TCP server with this many closed-loop connections")
+		pipe      = fs.Int("pipeline", 0, "single run: requests kept in flight per connection (needs -conns; 0 = 1, singleton round trips)")
 		slots     = fs.Int("slots", 0, "Hyaline slot cap k (0 = next pow2 of cores)")
 		prefill   = fs.Int("prefill", 50_000, "prefill element count")
 		keyrange  = fs.Uint64("keyrange", 100_000, "key universe size")
@@ -65,6 +72,35 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Validate flag combinations up front: a contradictory or negative
+	// knob must abort with a clear message, not silently reshape the run
+	// (bench.Config's zero-value defaulting would otherwise paper over
+	// all of these).
+	if *gor == -1 {
+		*gor = 0 // explicit auto, same as the default
+	}
+	switch {
+	case *batch < 0:
+		return fmt.Errorf("-batch %d: a batch cannot have a negative size (0 or 1 = singleton ops)", *batch)
+	case *gor < 0:
+		return fmt.Errorf("-goroutines %d: want a positive worker count, or 0/-1 for auto (2x threads)", *gor)
+	case *gor > 0 && !*sessions:
+		return fmt.Errorf("-goroutines %d without -sessions: goroutine workers exist only in session mode (add -sessions, or drop -goroutines)", *gor)
+	case *threads < 1:
+		return fmt.Errorf("-threads %d: need at least one worker thread", *threads)
+	case *stalled < 0:
+		return fmt.Errorf("-stalled %d: the stalled-thread count cannot be negative", *stalled)
+	case *conns < 0:
+		return fmt.Errorf("-conns %d: the connection count cannot be negative", *conns)
+	case *pipe < 0:
+		return fmt.Errorf("-pipeline %d: the pipeline depth cannot be negative", *pipe)
+	case *pipe > 0 && *conns == 0:
+		return fmt.Errorf("-pipeline %d without -conns: pipelining is a property of client connections (add -conns)", *pipe)
+	case *conns > 0 && (*sessions || *gor > 0):
+		return fmt.Errorf("-conns %d with -sessions/-goroutines: client/server mode manages its own goroutines", *conns)
+	case *conns > 0 && *batch > 0:
+		return fmt.Errorf("-conns %d with -batch: the server batches pipelined commands itself (use -pipeline)", *conns)
 	}
 
 	switch {
@@ -80,7 +116,8 @@ func run(args []string) error {
 			stalled: *stalled, duration: *duration, workload: *workload,
 			rangePct: *rangePct, rangeSpan: *rangeSpan,
 			trim: *trim, sessions: *sessions, goroutines: *gor,
-			batch: *batch, slots: *slots, prefill: *prefill,
+			batch: *batch, conns: *conns, pipeline: *pipe,
+			slots: *slots, prefill: *prefill,
 			keyrange: *keyrange, arenaCap: *arenaCap,
 		})
 	default:
@@ -178,6 +215,7 @@ type singleConfig struct {
 	threads, stalled, slots     int
 	prefill, arenaCap           int
 	rangePct, goroutines, batch int
+	conns, pipeline             int
 	rangeSpan, keyrange         uint64
 	duration                    time.Duration
 	trim, sessions              bool
@@ -217,6 +255,8 @@ func runSingle(c singleConfig) error {
 		Sessions:   c.sessions,
 		Goroutines: c.goroutines,
 		BatchSize:  c.batch,
+		Conns:      c.conns,
+		Pipeline:   c.pipeline,
 		Prefill:    c.prefill,
 		KeyRange:   c.keyrange,
 		ArenaCap:   c.arenaCap,

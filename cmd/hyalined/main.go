@@ -1,0 +1,115 @@
+// Command hyalined serves one hyaline.KV over TCP using the
+// internal/protocol frame format: a compact binary protocol with
+// GET/SET/DEL/LEN/STATS/PING frames, pipelining-aware batching (a burst
+// of in-flight commands on one connection is coalesced into a single
+// batched apply — one session lease and one Enter/Leave bracket per
+// pipeline window), and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	hyalined -addr :4980 -structure hashmap -scheme hyaline
+//	hyalined -addr 127.0.0.1:0 -scheme hyaline-1s -threads 16
+//
+// The bound address is printed on startup (useful with port 0); drive it
+// with cmd/hyalineload. On SIGINT the server stops accepting, finishes
+// every in-flight pipeline window, writes the pending replies and exits,
+// reporting the drained connection count and the leased-session ledger
+// (in-flight leases must be zero after a clean drain).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hyaline"
+	"hyaline/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hyalined:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hyalined", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":4980", "TCP listen address (use port 0 for an ephemeral port)")
+		structure = fs.String("structure", "hashmap", "data structure (list|hashmap|bonsai|natarajan|skiplist)")
+		scheme    = fs.String("scheme", "hyaline", "reclamation scheme")
+		threads   = fs.Int("threads", 0, "leased-tid bound (0 = 2x GOMAXPROCS); connections beyond it share leases")
+		pipeline  = fs.Int("pipeline", server.DefaultMaxPipeline, "max in-flight commands coalesced into one batched apply per connection")
+		arenaCap  = fs.Int("arenacap", 1<<22, "node pool capacity (virtual until touched)")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown budget before connections are closed forcibly")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *threads < 0 {
+		return fmt.Errorf("-threads %d: the leased-tid bound cannot be negative (0 = auto)", *threads)
+	}
+	if *pipeline < 1 {
+		return fmt.Errorf("-pipeline %d: at least one command per batch", *pipeline)
+	}
+
+	kv, err := hyaline.NewKV(*structure, *scheme, hyaline.KVOptions{
+		MaxThreads: *threads,
+		ArenaCap:   *arenaCap,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "hyalined: ", 0)
+	logger.Printf("listening on %s (structure=%s scheme=%s threads=%d pipeline=%d)",
+		ln.Addr(), kv.Structure(), kv.Scheme(), kv.MaxThreads(), *pipeline)
+
+	srv := server.New(kv, server.Options{
+		MaxPipeline: *pipeline,
+		Logf:        logger.Printf,
+	})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err // listener died underneath us
+	case s := <-sig:
+		logger.Printf("caught %v — draining connections (budget %v)", s, *drain)
+	}
+
+	_, activeBefore, _, _ := srv.Counters()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := srv.Shutdown(ctx)
+	<-serveErr // Serve has returned ErrServerClosed by now
+
+	kv.Flush()
+	accepted, _, served, batches := srv.Counters()
+	snap := kv.Snapshot()
+	logger.Printf("drained %d connections (accepted %d, served %d ops in %d apply batches)",
+		activeBefore, accepted, served, batches)
+	logger.Printf("kv: len=%d live=%d unreclaimed=%d, in-flight leases: %d",
+		snap.Len, snap.Live, snap.Stats.Unreclaimed(), kv.InFlight())
+	if shutdownErr != nil {
+		return fmt.Errorf("drain budget exceeded: %w", shutdownErr)
+	}
+	if n := kv.InFlight(); n != 0 {
+		return fmt.Errorf("%d session leases still in flight after drain", n)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestHistQuantile: quantiles of a known uniform distribution land
+// within the histogram's log-linear bucket error (~9% relative).
+func TestHistQuantile(t *testing.T) {
+	var h hist
+	rng := rand.New(rand.NewSource(1))
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		// Uniform 1µs..1ms.
+		h.record(time.Duration(1_000 + rng.Int63n(999_000)))
+	}
+	if h.count != n {
+		t.Fatalf("count=%d, want %d", h.count, n)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := h.quantile(c.q)
+		lo := time.Duration(float64(c.want) * 0.85)
+		hi := time.Duration(float64(c.want) * 1.15)
+		if got < lo || got > hi {
+			t.Errorf("p%.0f = %v, want within [%v, %v]", c.q*100, got, lo, hi)
+		}
+	}
+}
+
+// TestHistQuantileMonotonic: quantiles never decrease in q, whatever
+// the distribution.
+func TestHistQuantileMonotonic(t *testing.T) {
+	var h hist
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10_000; i++ {
+		// Log-uniform 1ns..~1s: exercises many exponent rows.
+		h.record(time.Duration(1 << rng.Intn(30)))
+	}
+	prev := time.Duration(0)
+	for q := 0.01; q <= 1.0; q += 0.01 {
+		cur := h.quantile(q)
+		if cur < prev {
+			t.Fatalf("quantile(%.2f)=%v < quantile(prev)=%v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestHistMergeAndEmpty: merge sums counts; an empty histogram reports
+// zero quantiles.
+func TestHistMergeAndEmpty(t *testing.T) {
+	var empty hist
+	if got := empty.quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	var a, b hist
+	a.record(time.Microsecond)
+	b.record(time.Millisecond)
+	a.merge(&b)
+	if a.count != 2 {
+		t.Fatalf("merged count=%d", a.count)
+	}
+	if p99 := a.quantile(0.99); p99 < 500*time.Microsecond {
+		t.Fatalf("merged p99=%v, want ~1ms", p99)
+	}
+}
+
+// TestBucketRoundTrip: every bucket's midpoint maps back to the same
+// bucket — the decode side of the histogram is consistent with the
+// encode side.
+func TestBucketRoundTrip(t *testing.T) {
+	for i := 1; i < len(hist{}.buckets); i++ {
+		mid := bucketMid(i)
+		if mid == 0 {
+			continue
+		}
+		if got := bucketOf(mid); got != i {
+			t.Fatalf("bucketOf(bucketMid(%d)=%d) = %d", i, mid, got)
+		}
+	}
+}
+
+// TestParseMix: named mixes, strict custom percentages, and rejection
+// of garbage (including trailing junk a lenient scanner would accept).
+func TestParseMix(t *testing.T) {
+	good := map[string]mix{
+		"write":       {50, 50},
+		"read":        {5, 5},
+		"20/20/60":    {20, 20},
+		"0/0/100":     {0, 0},
+		" 10/ 10/ 80": {10, 10},
+	}
+	for in, want := range good {
+		got, err := parseMix(in)
+		if err != nil || got != want {
+			t.Errorf("parseMix(%q) = %+v, %v; want %+v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{
+		"", "writeish", "20/20", "20/20/60/0", "20x/20/60", "0x14/20/60",
+		"-10/50/60", "40/40/40", "33/33/33",
+	} {
+		if _, err := parseMix(in); err == nil {
+			t.Errorf("parseMix(%q) accepted garbage", in)
+		}
+	}
+}

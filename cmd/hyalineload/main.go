@@ -1,0 +1,306 @@
+// Command hyalineload is a closed-loop load generator for hyalined: it
+// opens -conns TCP connections, keeps -pipeline requests in flight on
+// each (one write, -pipeline replies, repeat), and reports client-side
+// throughput and latency plus the server's STATS gauges — including the
+// unreclaimed-object count, the robustness metric the paper plots.
+//
+// Usage:
+//
+//	hyalineload -addr 127.0.0.1:4980 -conns 64 -pipeline 16 -duration 5s
+//	hyalineload -addr 127.0.0.1:4980 -conns 64 -pipeline 1   # singleton baseline
+//	hyalineload -addr ... -mix read            # 5% insert / 5% delete / 90% get
+//	hyalineload -addr ... -mix 20/20/60        # custom insert/delete/get split
+//
+// Every GET hit is integrity-checked (SET writes key*31+7, so a hit
+// returning anything else means a reclamation bug corrupted the map) and
+// any ERR reply aborts the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyaline/internal/protocol"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hyalineload:", err)
+		os.Exit(1)
+	}
+}
+
+// maxPipeline bounds the closed-loop window (deadlock bound, shared
+// with the bench harness).
+const maxPipeline = protocol.MaxPipelineWindow
+
+type mix struct {
+	insertPct, deletePct int // the rest are gets
+}
+
+func parseMix(s string) (mix, error) {
+	switch s {
+	case "write":
+		return mix{50, 50}, nil
+	case "read":
+		return mix{5, 5}, nil
+	}
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return mix{}, fmt.Errorf("-mix %q: want write, read, or I/D/G percentages like 20/20/60", s)
+	}
+	var pct [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return mix{}, fmt.Errorf("-mix %q: bad percentage %q", s, p)
+		}
+		pct[i] = v
+	}
+	if pct[0]+pct[1]+pct[2] != 100 {
+		return mix{}, fmt.Errorf("-mix %q: percentages sum to %d, want 100", s, pct[0]+pct[1]+pct[2])
+	}
+	return mix{pct[0], pct[1]}, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hyalineload", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:4980", "hyalined address")
+		conns    = fs.Int("conns", 16, "concurrent client connections")
+		pipeline = fs.Int("pipeline", 16, "requests kept in flight per connection (1 = singleton round trips)")
+		duration = fs.Duration("duration", 5*time.Second, "measurement window")
+		mixFlag  = fs.String("mix", "write", "operation mix: write (50i/50d), read (5i/5d/90g) or I/D/G percentages")
+		keyrange = fs.Uint64("keyrange", 100_000, "key universe size")
+		prefill  = fs.Int("prefill", 0, "SETs to issue before measuring (warms the map for read mixes)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *conns < 1 {
+		return fmt.Errorf("-conns %d: need at least one connection", *conns)
+	}
+	if *pipeline < 1 || *pipeline > maxPipeline {
+		return fmt.Errorf("-pipeline %d: want 1..%d (a closed-loop window must fit the socket buffers)", *pipeline, maxPipeline)
+	}
+	if *keyrange == 0 {
+		return fmt.Errorf("-keyrange 0: need a non-empty key universe")
+	}
+	if *prefill < 0 {
+		return fmt.Errorf("-prefill %d: cannot be negative", *prefill)
+	}
+	m, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+
+	if *prefill > 0 {
+		if err := doPrefill(*addr, *prefill, *keyrange); err != nil {
+			return fmt.Errorf("prefill: %w", err)
+		}
+	}
+
+	var (
+		stop    atomic.Bool
+		started sync.WaitGroup
+		done    sync.WaitGroup
+		release = make(chan struct{})
+		ops     = make([]int64, *conns)
+		hists   = make([]hist, *conns)
+		errOnce sync.Once
+		runErr  error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { runErr = err })
+		stop.Store(true)
+	}
+	for i := 0; i < *conns; i++ {
+		started.Add(1)
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			n, err := drive(*addr, i, *pipeline, m, *keyrange, &stop, &started, release, &hists[i])
+			ops[i] = n
+			if err != nil {
+				fail(err)
+			}
+		}(i)
+	}
+	started.Wait()
+	start := time.Now()
+	close(release)
+	time.Sleep(*duration)
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(start)
+	if runErr != nil {
+		return runErr
+	}
+
+	var total int64
+	agg := &hists[0]
+	for i := 1; i < *conns; i++ {
+		agg.merge(&hists[i])
+	}
+	for _, n := range ops {
+		total += n
+	}
+	fmt.Printf("hyalineload: addr=%s conns=%d pipeline=%d mix=%s window=%v\n",
+		*addr, *conns, *pipeline, *mixFlag, elapsed.Round(time.Millisecond))
+	fmt.Printf("  client: ops=%d throughput=%.3f Mops/s\n",
+		total, float64(total)/elapsed.Seconds()/1e6)
+	fmt.Printf("  latency (per pipelined round trip): p50=%v p99=%v\n",
+		agg.quantile(0.50).Round(time.Microsecond), agg.quantile(0.99).Round(time.Microsecond))
+
+	return printServerStats(*addr)
+}
+
+// drive is one closed-loop connection: write a window, read its replies,
+// repeat until stop. Returns the completed-op count.
+func drive(addr string, seed, pipeline int, m mix, keyrange uint64,
+	stop *atomic.Bool, started *sync.WaitGroup, release <-chan struct{}, h *hist) (int64, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		started.Done()
+		return 0, err
+	}
+	defer c.Close()
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	rng := rand.New(rand.NewSource(int64(seed)*2654435761 + 1))
+	w := protocol.NewWriter(c)
+	rd := protocol.NewReader(c)
+	keys := make([]uint64, pipeline)
+	kinds := make([]protocol.Op, pipeline)
+	started.Done()
+	<-release
+
+	ops := int64(0)
+	for !stop.Load() {
+		for p := 0; p < pipeline; p++ {
+			key := uint64(rng.Int63n(int64(keyrange)))
+			keys[p] = key
+			roll := rng.Intn(100)
+			switch {
+			case roll < m.insertPct:
+				kinds[p] = protocol.OpSet
+				w.Set(key, key*31+7)
+			case roll < m.insertPct+m.deletePct:
+				kinds[p] = protocol.OpDel
+				w.Del(key)
+			default:
+				kinds[p] = protocol.OpGet
+				w.Get(key)
+			}
+		}
+		t0 := time.Now()
+		if err := w.Flush(); err != nil {
+			return ops, err
+		}
+		for p := 0; p < pipeline; p++ {
+			f, err := rd.ReadFrame()
+			if err != nil {
+				return ops, err
+			}
+			switch protocol.Status(f.Code) {
+			case protocol.StatusOK:
+				if kinds[p] == protocol.OpGet {
+					v, err := protocol.U64(f.Payload)
+					if err != nil {
+						return ops, err
+					}
+					if want := keys[p]*31 + 7; v != want {
+						return ops, fmt.Errorf("corrupted read: GET %d returned %d, want %d (reclamation bug?)", keys[p], v, want)
+					}
+				}
+			case protocol.StatusNil:
+				// clean miss / already-present — expected under churn
+			default:
+				return ops, fmt.Errorf("server error reply: %s", f.Payload)
+			}
+		}
+		h.record(time.Since(t0))
+		ops += int64(pipeline)
+	}
+	return ops, nil
+}
+
+// doPrefill streams SETs over one pipelined connection until count keys
+// have been attempted (duplicates may collapse; the goal is a warm map,
+// not an exact census).
+func doPrefill(addr string, count int, keyrange uint64) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(4242))
+	w := protocol.NewWriter(c)
+	rd := protocol.NewReader(c)
+	const window = 256
+	for sent := 0; sent < count; {
+		n := count - sent
+		if n > window {
+			n = window
+		}
+		for i := 0; i < n; i++ {
+			key := uint64(rng.Int63n(int64(keyrange)))
+			w.Set(key, key*31+7)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			f, err := rd.ReadFrame()
+			if err != nil {
+				return err
+			}
+			if protocol.Status(f.Code) == protocol.StatusErr {
+				return fmt.Errorf("server error reply: %s", f.Payload)
+			}
+		}
+		sent += n
+	}
+	return nil
+}
+
+// printServerStats fetches and prints the server-side gauges on a fresh
+// connection, after the measured run.
+func printServerStats(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("stats connection: %w", err)
+	}
+	defer c.Close()
+	w := protocol.NewWriter(c)
+	rd := protocol.NewReader(c)
+	w.Stats()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	f, err := rd.ReadFrame()
+	if err != nil {
+		return err
+	}
+	if protocol.Status(f.Code) != protocol.StatusOK {
+		return fmt.Errorf("STATS reply %s: %s", protocol.Status(f.Code), f.Payload)
+	}
+	st, err := protocol.ParseStats(f.Payload)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  server: structure=%s scheme=%s threads=%d conns=%d total-conns=%d served-ops=%d\n",
+		st.Structure, st.Scheme, st.MaxThreads, st.Conns, st.TotalConns, st.Ops)
+	fmt.Printf("          len=%d live=%d allocated=%d retired=%d freed=%d unreclaimed=%d\n",
+		st.Len, st.Live, st.Allocated, st.Retired, st.Freed, st.Unreclaimed())
+	return nil
+}

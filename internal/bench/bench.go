@@ -21,6 +21,7 @@ import (
 
 	"hyaline/internal/arena"
 	"hyaline/internal/ds"
+	"hyaline/internal/protocol"
 	"hyaline/internal/session"
 	"hyaline/internal/smr"
 	"hyaline/internal/trackers"
@@ -102,6 +103,16 @@ type Config struct {
 	// batches do not starve reclamation — the measurement analogue of
 	// the KV batch API. 0 or 1 means singleton operations.
 	BatchSize int
+	// Conns switches the run into client/server mode: an in-process TCP
+	// server (internal/server) over a KV with Threads leased tids is
+	// driven by Conns closed-loop loopback connections instead of
+	// in-process workers. Requires the serve runner to be registered
+	// (import hyaline/internal/server for side effects).
+	Conns int
+	// Pipeline is the number of requests each client connection keeps in
+	// flight per round trip in client/server mode (1 = singleton
+	// request/reply). Ignored unless Conns > 0.
+	Pipeline int
 	// Pin locks workers to OS threads, approximating the paper's pthread
 	// pinning.
 	Pin bool
@@ -141,7 +152,24 @@ func (c *Config) fill() {
 	if c.BatchSize < 1 {
 		c.BatchSize = 1
 	}
+	if c.Conns > 0 && c.Pipeline < 1 {
+		c.Pipeline = 1
+	}
 }
+
+// maxPipelineDepth bounds client/server pipelining; see
+// protocol.MaxPipelineWindow (deadlock bound, shared with hyalineload).
+const maxPipelineDepth = protocol.MaxPipelineWindow
+
+// serveRun executes a Config in client/server mode. It lives behind a
+// registration hook because the server rides the root hyaline package,
+// which itself imports this one: internal/server registers the runner at
+// init, and binaries that want the client/server figures import it
+// (cmd/hyalinebench does).
+var serveRun func(Config) (Result, error)
+
+// RegisterServeRunner installs the client/server benchmark executor.
+func RegisterServeRunner(fn func(Config) (Result, error)) { serveRun = fn }
 
 // Result is one measured data point.
 type Result struct {
@@ -154,8 +182,12 @@ type Result struct {
 	Goroutines int
 	// BatchSize is the operations-per-bracket grouping (1 = singleton).
 	BatchSize int
-	Workload  string
-	Duration  time.Duration
+	// Conns and Pipeline echo the client/server configuration (0 when
+	// the run used in-process workers).
+	Conns    int
+	Pipeline int
+	Workload string
+	Duration time.Duration
 
 	Ops            int64
 	ScannedKeys    int64   // keys visited by range scans (scan-mix only)
@@ -176,6 +208,9 @@ func (r Result) String() string {
 	if r.BatchSize > 1 {
 		row += fmt.Sprintf("  batch=%d", r.BatchSize)
 	}
+	if r.Conns > 0 {
+		row += fmt.Sprintf("  serve(conns=%d pipe=%d)", r.Conns, r.Pipeline)
+	}
 	return row
 }
 
@@ -191,6 +226,21 @@ func Run(cfg Config) (Result, error) {
 	}
 	if cfg.Trim && cfg.Sessions {
 		return Result{}, fmt.Errorf("bench: trim needs a tid held across operations; sessions lease one per operation")
+	}
+	if cfg.Conns > 0 {
+		switch {
+		case cfg.Trim || cfg.Sessions:
+			return Result{}, fmt.Errorf("bench: client/server mode drives the KV front-end; -trim/-sessions do not apply")
+		case cfg.Stalled > 0:
+			return Result{}, fmt.Errorf("bench: client/server mode has no stalled workers (stall the schemes with figure 10a instead)")
+		case cfg.Workload.RangePct > 0:
+			return Result{}, fmt.Errorf("bench: the wire protocol has no range-scan op")
+		case cfg.Pipeline > maxPipelineDepth:
+			return Result{}, fmt.Errorf("bench: pipeline depth %d exceeds %d (a closed-loop window must fit the socket buffers)", cfg.Pipeline, maxPipelineDepth)
+		case serveRun == nil:
+			return Result{}, fmt.Errorf("bench: client/server mode needs the serve runner; import hyaline/internal/server for side effects")
+		}
+		return serveRun(cfg)
 	}
 	total := cfg.Threads + cfg.Stalled
 	tcfg := cfg.Tracker

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -455,5 +456,60 @@ func TestNextPow2(t *testing.T) {
 func TestWorkloadNames(t *testing.T) {
 	if WriteHeavy.Name() != "write-heavy" || ReadMostly.Name() != "read-mostly" {
 		t.Fatal("workload names")
+	}
+}
+
+func TestServeFiguresRegistered(t *testing.T) {
+	for _, id := range []string{"21", "22"} {
+		f, err := FigureByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Sweep != "conns" {
+			t.Fatalf("figure %s sweeps %q, want conns", id, f.Sweep)
+		}
+		pipes := map[int]bool{}
+		schemes := map[string]bool{}
+		for _, c := range f.Curves {
+			if c.Pipeline < 1 {
+				t.Fatalf("figure %s curve %s has no pipeline depth", id, c.Label)
+			}
+			pipes[c.Pipeline] = true
+			schemes[c.Scheme] = true
+		}
+		if !pipes[1] || len(pipes) < 2 {
+			t.Fatalf("figure %s lacks a singleton/pipelined comparison: %v", id, pipes)
+		}
+		if len(schemes) < 2 {
+			t.Fatalf("figure %s compares only %v", id, schemes)
+		}
+	}
+}
+
+// TestServeRequiresRunner: this test binary does not import
+// internal/server, so client/server mode must refuse with a pointer at
+// the missing registration instead of crashing or hanging.
+func TestServeRequiresRunner(t *testing.T) {
+	_, err := Run(Config{
+		Structure: "hashmap", Scheme: "hyaline", Threads: 1, Conns: 2,
+		Duration: 10 * time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "serve runner") {
+		t.Fatalf("serve mode without a runner: %v", err)
+	}
+}
+
+func TestConnSweepDefault(t *testing.T) {
+	xs := DefaultConnSweep()
+	if len(xs) == 0 || xs[0] != 1 {
+		t.Fatalf("conn sweep %v", xs)
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Fatalf("conn sweep not increasing: %v", xs)
+		}
+	}
+	if top := 4 * runtime.GOMAXPROCS(0); xs[len(xs)-1] != top {
+		t.Fatalf("conn sweep %v misses the 4x endpoint %d", xs, top)
 	}
 }

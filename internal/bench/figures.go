@@ -39,6 +39,9 @@ type Curve struct {
 	// Batch groups operations into brackets of this size (0/1 =
 	// singleton; see Config.BatchSize).
 	Batch int
+	// Pipeline is the per-connection in-flight request depth for the
+	// client/server figures (sweep "conns"); 0 elsewhere.
+	Pipeline int
 }
 
 // Figure is a runnable experiment specification.
@@ -54,7 +57,8 @@ type Figure struct {
 	// Metric selects what the figure plots: "throughput" (Mops/s) or
 	// "unreclaimed" (average retired-but-not-freed objects).
 	Metric string
-	// Sweep is the x-axis: "threads" or "stalled".
+	// Sweep is the x-axis: "threads", "stalled" or "conns" (client/
+	// server mode: x is the loopback connection count).
 	Sweep string
 	// Curves lists the series.
 	Curves []Curve
@@ -196,6 +200,37 @@ func AllFigures() []Figure {
 		Sweep:     "threads",
 		Curves:    batchCurves,
 	})
+	// Figures 21/22 are reproduction extensions: the network serving
+	// layer (internal/server). Closed-loop loopback connections drive the
+	// KV through the wire protocol; pipelined curves coalesce each
+	// connection's in-flight window into one Apply batch, singleton
+	// curves pay a full round trip and a full bracket per op. Running
+	// them needs the serve runner registered (cmd/hyalinebench imports
+	// hyaline/internal/server for exactly this).
+	var serveCurves []Curve
+	for _, s := range []string{"hyaline", "epoch", "ibr", "hp"} {
+		serveCurves = append(serveCurves,
+			Curve{Label: s + "-pipe1", Scheme: s, Pipeline: 1},
+			Curve{Label: s + "-pipe16", Scheme: s, Pipeline: 16},
+		)
+	}
+	figs = append(figs, Figure{
+		ID:        "21",
+		Caption:   "x86-64: hashmap served throughput, pipelined vs singleton connections (reproduction extension)",
+		Structure: "hashmap",
+		Workload:  WriteHeavy,
+		Metric:    "throughput",
+		Sweep:     "conns",
+		Curves:    serveCurves,
+	}, Figure{
+		ID:        "22",
+		Caption:   "x86-64: hashmap unreclaimed objects under served load, pipelined vs singleton connections (reproduction extension)",
+		Structure: "hashmap",
+		Workload:  WriteHeavy,
+		Metric:    "unreclaimed",
+		Sweep:     "conns",
+		Curves:    serveCurves,
+	})
 	return figs
 }
 
@@ -242,6 +277,21 @@ func DefaultThreadSweep() []int {
 	return out
 }
 
+// DefaultConnSweep spans 1 to 4×GOMAXPROCS connections in powers of two:
+// each connection is a goroutine pair server-side, so the top of the
+// sweep oversubscribes goroutines, connections and leased tids at once.
+func DefaultConnSweep() []int {
+	top := 4 * runtime.GOMAXPROCS(0)
+	var out []int
+	for x := 1; x <= top; x *= 2 {
+		out = append(out, x)
+	}
+	if out[len(out)-1] != top {
+		out = append(out, top) // pin the 4x endpoint on non-pow2 core counts
+	}
+	return out
+}
+
 // DefaultStallSweep spans 0 to the active thread count.
 func DefaultStallSweep(active int) []int {
 	xs := []int{0, 1, active / 8, active / 4, active / 2, 3 * active / 4, active}
@@ -284,9 +334,12 @@ func (f Figure) Run(opts RunOptions) (Table, error) {
 	}
 	xs := opts.Xs
 	if len(xs) == 0 {
-		if f.Sweep == "stalled" {
+		switch f.Sweep {
+		case "stalled":
 			xs = DefaultStallSweep(opts.ActiveThreads)
-		} else {
+		case "conns":
+			xs = DefaultConnSweep()
+		default:
 			xs = DefaultThreadSweep()
 		}
 	}
@@ -309,10 +362,15 @@ func (f Figure) Run(opts RunOptions) (Table, error) {
 					Resize: curve.Resize,
 				},
 			}
-			if f.Sweep == "stalled" {
+			switch f.Sweep {
+			case "stalled":
 				cfg.Threads = opts.ActiveThreads
 				cfg.Stalled = x
-			} else {
+			case "conns":
+				cfg.Threads = opts.ActiveThreads
+				cfg.Conns = x
+				cfg.Pipeline = curve.Pipeline
+			default:
 				cfg.Threads = x
 			}
 			res, err := Run(cfg)
@@ -342,8 +400,11 @@ func (t Table) CSV() string {
 		labels = append(labels, c.Label)
 	}
 	xName := "threads"
-	if t.Figure.Sweep == "stalled" {
+	switch t.Figure.Sweep {
+	case "stalled":
 		xName = "stalled"
+	case "conns":
+		xName = "conns"
 	}
 	fmt.Fprintf(&b, "# figure %s: %s (metric: %s)\n", t.Figure.ID, t.Figure.Caption, t.Figure.Metric)
 	fmt.Fprintf(&b, "%s,%s\n", xName, strings.Join(labels, ","))

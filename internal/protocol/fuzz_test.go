@@ -1,0 +1,104 @@
+package protocol
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzProtocolParse throws arbitrary byte streams at the full decode
+// surface: the frame reader (both blocking and buffered-only paths), the
+// per-op request validator, the fixed-size payload decoders and the
+// STATS payload parser. Malformed, truncated and oversized inputs must
+// error cleanly — no panics, no buffer growth past MaxFrame, and the
+// decoded frame stream must be byte-identical however the input is
+// fragmented.
+func FuzzProtocolParse(f *testing.F) {
+	// Seed corpus: every request type (via the Writer), every reply
+	// type, then the malformed shapes the reader must reject — a zero
+	// code byte, a truncated header, a truncated payload, a wrong-size
+	// GET, and a length prefix pointing far past the data.
+	var reqs bytes.Buffer
+	w := NewWriter(&reqs)
+	w.Ping([]byte("seed"))
+	w.Get(7)
+	w.Set(8, 9)
+	w.Del(10)
+	w.Len()
+	w.Stats()
+	w.Flush()
+	f.Add(reqs.Bytes())
+
+	var replies []byte
+	replies = AppendOK(replies)
+	replies = AppendNil(replies)
+	replies = AppendValue(replies, 1234)
+	replies = AppendErr(replies, "nope")
+	replies = AppendStatsReply(replies, Stats{Structure: "hashmap", Scheme: "hyaline", Len: 5})
+	f.Add(replies)
+
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})                                  // zero code
+	f.Add([]byte{byte(OpGet)})                              // truncated header
+	f.Add([]byte{byte(OpGet), 8, 0, 1, 2})                  // truncated payload
+	f.Add(AppendFrame(nil, byte(OpGet), make([]byte, 100))) // oversized GET
+	f.Add([]byte{byte(OpPing), 0xff, 0xff})                 // max length, no data
+	f.Add(append([]byte{byte(OpSet), 16, 0}, make([]byte, 16)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Pass 1: whole-stream reader.
+		rd := NewReader(bytes.NewReader(data))
+		type decoded struct {
+			code    byte
+			payload string
+		}
+		var whole []decoded
+		for {
+			fr, err := rd.ReadFrame()
+			if err != nil {
+				if err == io.EOF && rd.Buffered() != 0 {
+					t.Fatalf("clean EOF with %d bytes still buffered", rd.Buffered())
+				}
+				break
+			}
+			if len(fr.Payload) > MaxPayload {
+				t.Fatalf("payload %d exceeds MaxPayload", len(fr.Payload))
+			}
+			// Every decode helper must tolerate every payload.
+			ValidateRequest(Op(fr.Code), len(fr.Payload))
+			U64(fr.Payload)
+			KeyVal(fr.Payload)
+			ParseStats(fr.Payload)
+			whole = append(whole, decoded{fr.Code, string(fr.Payload)})
+		}
+		if len(rd.buf) > MaxFrame {
+			t.Fatalf("reader buffer grew to %d (> MaxFrame %d)", len(rd.buf), MaxFrame)
+		}
+
+		// Pass 2: the same stream fragmented one byte per read, decoded
+		// with the TryReadFrame fast path first. Framing must not depend
+		// on how the bytes arrive.
+		rd2 := NewReader(&chunkReader{b: data})
+		var frag []decoded
+		for {
+			fr, ok, err := rd2.TryReadFrame()
+			if err != nil {
+				break
+			}
+			if !ok {
+				if fr, err = rd2.ReadFrame(); err != nil {
+					break
+				}
+			}
+			frag = append(frag, decoded{fr.Code, string(fr.Payload)})
+		}
+		if len(whole) != len(frag) {
+			t.Fatalf("fragmentation changed the frame count: %d vs %d", len(whole), len(frag))
+		}
+		for i := range whole {
+			if whole[i] != frag[i] {
+				t.Fatalf("frame %d differs across fragmentations: %+v vs %+v", i, whole[i], frag[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,213 @@
+// bench.go is the client/server benchmark executor behind figures 21/22
+// and `hyalinebench -conns`: an in-process Server over a fresh KV on a
+// loopback listener, driven by closed-loop client connections. It
+// registers itself with internal/bench at init — bench cannot import
+// this package (the server rides the root hyaline package, which imports
+// bench), so binaries wanting the serve figures import this package for
+// side effects.
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyaline"
+	"hyaline/internal/bench"
+	"hyaline/internal/protocol"
+)
+
+func init() { bench.RegisterServeRunner(RunBench) }
+
+// RunBench measures served throughput for one bench.Config with
+// cfg.Conns > 0: cfg.Conns loopback connections each keep cfg.Pipeline
+// requests in flight per round trip against a server whose KV leases
+// cfg.Threads tids. The returned Result counts client-observed
+// completions; the unreclaimed gauge is sampled server-side exactly like
+// the in-process harness samples it.
+func RunBench(cfg bench.Config) (bench.Result, error) {
+	kv, err := hyaline.NewKV(cfg.Structure, cfg.Scheme, hyaline.KVOptions{
+		MaxThreads: cfg.Threads,
+		ArenaCap:   cfg.ArenaCap,
+		Tracker:    cfg.Tracker,
+	})
+	if err != nil {
+		return bench.Result{}, err
+	}
+	prefillKV(kv, cfg.Prefill, cfg.KeyRange)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return bench.Result{}, err
+	}
+	srv := New(kv, Options{})
+	go srv.Serve(ln)
+
+	var (
+		stop    atomic.Bool
+		started sync.WaitGroup
+		done    sync.WaitGroup
+		release = make(chan struct{})
+		counts  = make([]paddedCount, cfg.Conns)
+		errOnce sync.Once
+		runErr  error
+		failed  = make(chan struct{})
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			runErr = err
+			close(failed)
+		})
+		stop.Store(true)
+	}
+	for i := 0; i < cfg.Conns; i++ {
+		started.Add(1)
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			c, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				started.Done()
+				fail(err)
+				return
+			}
+			defer c.Close()
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			rng := rand.New(rand.NewSource(int64(i)*2654435761 + 99))
+			w := protocol.NewWriter(c)
+			rd := protocol.NewReader(c)
+			started.Done()
+			<-release
+			ops := int64(0)
+			for !stop.Load() {
+				for p := 0; p < cfg.Pipeline; p++ {
+					key := uint64(rng.Int63n(int64(cfg.KeyRange)))
+					mix := rng.Intn(100)
+					switch {
+					case mix < cfg.Workload.InsertPct:
+						w.Set(key, key*31+7)
+					case mix < cfg.Workload.InsertPct+cfg.Workload.DeletePct:
+						w.Del(key)
+					default:
+						w.Get(key)
+					}
+				}
+				if err := w.Flush(); err != nil {
+					fail(err)
+					return
+				}
+				for p := 0; p < cfg.Pipeline; p++ {
+					f, err := rd.ReadFrame()
+					if err != nil {
+						fail(err)
+						return
+					}
+					if protocol.Status(f.Code) == protocol.StatusErr {
+						fail(fmt.Errorf("server error reply: %s", f.Payload))
+						return
+					}
+				}
+				ops += int64(cfg.Pipeline)
+			}
+			counts[i].v.Store(ops)
+		}(i)
+	}
+
+	started.Wait()
+	start := time.Now()
+	close(release)
+
+	var (
+		samples int64
+		sumUn   float64
+		maxUn   int64
+	)
+	ticker := time.NewTicker(5 * time.Millisecond)
+	deadline := time.After(cfg.Duration)
+sampling:
+	for {
+		select {
+		case <-ticker.C:
+			un := kv.Stats().Unreclaimed()
+			sumUn += float64(un)
+			samples++
+			if un > maxUn {
+				maxUn = un
+			}
+		case <-failed:
+			break sampling // a dead point must not burn the whole window
+		case <-deadline:
+			break sampling
+		}
+	}
+	ticker.Stop()
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(start)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return bench.Result{}, fmt.Errorf("server shutdown: %w", err)
+	}
+	if runErr != nil {
+		return bench.Result{}, runErr
+	}
+	var ops int64
+	for i := range counts {
+		ops += counts[i].v.Load()
+	}
+	avg := 0.0
+	if samples > 0 {
+		avg = sumUn / float64(samples)
+	}
+	return bench.Result{
+		Structure:      cfg.Structure,
+		Scheme:         cfg.Scheme,
+		Threads:        cfg.Threads,
+		Conns:          cfg.Conns,
+		Pipeline:       cfg.Pipeline,
+		Workload:       cfg.Workload.Name(),
+		Duration:       elapsed,
+		Ops:            ops,
+		ThroughputMops: float64(ops) / elapsed.Seconds() / 1e6,
+		AvgUnreclaimed: avg,
+		MaxUnreclaimed: maxUn,
+		FinalStats:     kv.Stats(),
+	}, nil
+}
+
+type paddedCount struct {
+	v atomic.Int64
+	_ [7]uint64
+}
+
+// prefillKV inserts exactly n distinct random keys through the batch
+// API (duplicates retry until the count is reached).
+func prefillKV(kv *hyaline.KV, n int, keyRange uint64) {
+	rng := rand.New(rand.NewSource(12345))
+	ops := make([]hyaline.Op, 0, 512)
+	inserted := 0
+	for inserted < n {
+		ops = ops[:0]
+		want := n - inserted
+		if want > 512 {
+			want = 512
+		}
+		for len(ops) < want {
+			key := uint64(rng.Int63n(int64(keyRange)))
+			ops = append(ops, hyaline.Op{Kind: hyaline.OpInsert, Key: key, Val: key*31 + 7})
+		}
+		for _, r := range kv.Apply(ops) {
+			if r.OK {
+				inserted++
+			}
+		}
+	}
+}

@@ -1,0 +1,414 @@
+// Package server is the network front-end of the hyaline KV: a TCP
+// listener speaking the internal/protocol frame format, with one
+// goroutine pair per connection (a reader that decodes, batches and
+// applies; a writer that flushes encoded replies), riding hyaline.KV.
+//
+// The performance move is pipelining: a client that keeps several
+// requests in flight has its whole burst sitting in the reader's buffer
+// after one syscall, and the reader coalesces the contiguous run of data
+// commands (GET/SET/DEL, up to Options.MaxPipeline of them) into a
+// single kv.Apply batch — one session lease and one Enter/Leave bracket
+// serve the entire pipeline window. A singleton client pays the full
+// per-op bracket; a pipelined one amortizes it across the window, which
+// is the client/server replay of the paper's batching argument.
+//
+// This is also the first workload where goroutines, connections and
+// leased tids are all independently oversubscribed: C connections mean
+// 2C goroutines contending for the KV's MaxThreads tids, with the
+// session pool — not the accept loop — as the admission valve.
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyaline"
+	"hyaline/internal/protocol"
+)
+
+// DefaultMaxPipeline is how many data commands one kv.Apply batch may
+// coalesce. It matches session.BatchChunk so a full pipeline window is
+// exactly one bracket with no mid-batch trim.
+const DefaultMaxPipeline = 64
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// Options tunes a Server. The zero value is production-shaped.
+type Options struct {
+	// MaxPipeline caps how many pipelined data commands are coalesced
+	// into one kv.Apply batch. Default DefaultMaxPipeline; min 1.
+	MaxPipeline int
+	// Logf, when non-nil, receives connection-level diagnostics (accept
+	// and write errors). Protocol errors are reported to the offending
+	// client, not logged.
+	Logf func(format string, args ...any)
+}
+
+// Server serves one hyaline.KV over TCP.
+type Server struct {
+	kv          *hyaline.KV
+	maxPipeline int
+	logf        func(string, ...any)
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	wg       sync.WaitGroup // one unit per live connection handler
+	accepted atomic.Int64
+	served   atomic.Int64 // frames answered (data ops + meta commands)
+	batches  atomic.Int64 // kv.Apply calls issued
+}
+
+// New builds a server over kv. The KV stays owned by the caller: it is
+// shared with any in-process users and is not closed by Shutdown.
+func New(kv *hyaline.KV, opts Options) *Server {
+	if opts.MaxPipeline <= 0 {
+		opts.MaxPipeline = DefaultMaxPipeline
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		kv:          kv,
+		maxPipeline: opts.MaxPipeline,
+		logf:        logf,
+		conns:       map[net.Conn]struct{}{},
+	}
+}
+
+// Serve accepts connections on ln until Shutdown (returning
+// ErrServerClosed) or a fatal accept error. The listener is closed when
+// Serve returns.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	defer ln.Close()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() || errors.Is(err, net.ErrClosed) {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.accepted.Add(1)
+		if !s.track(c) {
+			c.Close() // lost the race with Shutdown
+			continue
+		}
+		go newConn(s, c).run()
+	}
+}
+
+// Shutdown gracefully stops the server: the listener closes, every
+// connection finishes the pipeline window it is processing (its batch
+// bracket completes and its replies are written), and idle connections
+// are released from their blocking read. When ctx expires first, the
+// remaining connections are closed forcibly. The KV is untouched — the
+// caller owns its lifecycle (and can assert kv.InFlight() == 0 once
+// Shutdown returns).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	snapshot := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		snapshot = append(snapshot, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	// A deadline in the past fails the *next* blocking read; a reader
+	// mid-window is unaffected and finishes its batch first.
+	now := time.Now()
+	for _, c := range snapshot {
+		c.SetReadDeadline(now)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Counters returns the server's gauges: connections accepted since
+// start, currently open connections, frames answered, and kv.Apply
+// batches issued.
+func (s *Server) Counters() (accepted, active, served, batches int64) {
+	s.mu.Lock()
+	active = int64(len(s.conns))
+	s.mu.Unlock()
+	return s.accepted.Load(), active, s.served.Load(), s.batches.Load()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// track registers a live connection; during drain it refuses (and the
+// late conn is closed unserved) so Shutdown's snapshot stays complete.
+// The wg.Add happens inside the critical section: Shutdown sets draining
+// under the same mutex before it calls wg.Wait, so every accepted
+// connection's handler is either counted by that Wait or refused here —
+// an Add can never race the Wait.
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// appendStats encodes the STATS reply: the KV snapshot plus server
+// gauges.
+func (s *Server) appendStats(b []byte) []byte {
+	snap := s.kv.Snapshot()
+	accepted, active, served, _ := s.Counters()
+	return protocol.AppendStatsReply(b, protocol.Stats{
+		Structure:  snap.Structure,
+		Scheme:     snap.Scheme,
+		MaxThreads: uint64(snap.MaxThreads),
+		Conns:      uint64(active),
+		TotalConns: uint64(accepted),
+		Ops:        uint64(served),
+		Len:        uint64(snap.Len),
+		Live:       uint64(snap.Live),
+		Allocated:  uint64(snap.Stats.Allocated),
+		Retired:    uint64(snap.Stats.Retired),
+		Freed:      uint64(snap.Stats.Freed),
+	})
+}
+
+// bufPool recycles reply buffers between the reader and writer halves of
+// every connection.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
+// outQueue is the reply-buffer depth between reader and writer: enough
+// that the reader can start the next window while the previous replies
+// drain, small enough that a client that never reads exerts backpressure
+// instead of ballooning the server.
+const outQueue = 4
+
+// conn is one connection's state, owned by its reader goroutine.
+type conn struct {
+	srv *Server
+	c   net.Conn
+	rd  *protocol.Reader
+	out chan *[]byte
+
+	ops []hyaline.Op     // pending data commands of the current run
+	res []hyaline.Result // reusable Apply result buffer
+	bp  *[]byte          // current reply buffer (from bufPool)
+	buf []byte           // alias of *bp being appended to
+
+	fatal bool // protocol error: an ERR reply is queued, close after flushing
+}
+
+func newConn(s *Server, c net.Conn) *conn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Replies are complete windows; coalescing them behind Nagle
+		// would serialize every pipelined client on the ACK clock.
+		tc.SetNoDelay(true)
+	}
+	bp := bufPool.Get().(*[]byte)
+	return &conn{
+		srv: s,
+		c:   c,
+		rd:  protocol.NewReader(c),
+		out: make(chan *[]byte, outQueue),
+		ops: make([]hyaline.Op, 0, s.maxPipeline),
+		res: make([]hyaline.Result, 0, s.maxPipeline),
+		bp:  bp,
+		buf: (*bp)[:0],
+	}
+}
+
+// run is the reader half: it decodes one pipeline window at a time,
+// coalesces its data commands into kv.Apply batches, and hands the
+// window's encoded replies to the writer half.
+func (cn *conn) run() {
+	defer cn.srv.wg.Done()
+	writerDone := make(chan struct{})
+	go cn.writeLoop(writerDone)
+
+	for {
+		// Block for the first frame of a window; everything else the
+		// client pipelined behind it is already buffered and consumed
+		// without further syscalls.
+		f, err := cn.rd.ReadFrame()
+		if err != nil {
+			break // EOF, drain deadline, or network error
+		}
+		cn.frame(f)
+		for !cn.fatal {
+			f, ok, err := cn.rd.TryReadFrame()
+			if err != nil {
+				cn.protoErr(err)
+				break
+			}
+			if !ok {
+				break
+			}
+			cn.frame(f)
+		}
+		cn.flushOps()
+		cn.send()
+		if cn.fatal || cn.srv.isDraining() {
+			break
+		}
+	}
+
+	close(cn.out)
+	<-writerDone
+	cn.c.Close()
+	cn.srv.untrack(cn.c)
+	bufPool.Put(cn.bp)
+}
+
+// writeLoop is the writer half: one Write per reply buffer, recycling
+// buffers through bufPool. On a write error it closes the connection so
+// the reader unblocks, then keeps draining so the reader never stalls
+// on a full channel.
+func (cn *conn) writeLoop(done chan<- struct{}) {
+	defer close(done)
+	broken := false
+	for bp := range cn.out {
+		if !broken {
+			if _, err := cn.c.Write(*bp); err != nil {
+				broken = true
+				cn.srv.logf("server: write to %s: %v", cn.c.RemoteAddr(), err)
+				cn.c.Close()
+			}
+		}
+		*bp = (*bp)[:0]
+		bufPool.Put(bp)
+	}
+}
+
+// frame handles one decoded request frame. Data commands accumulate into
+// the pending Apply run; meta commands (PING/LEN/STATS) are ordering
+// barriers — they flush the run, then answer inline while the frame
+// payload is still valid.
+func (cn *conn) frame(f protocol.Frame) {
+	op := protocol.Op(f.Code)
+	if err := protocol.ValidateRequest(op, len(f.Payload)); err != nil {
+		cn.protoErr(err)
+		return
+	}
+	switch op {
+	case protocol.OpGet:
+		key, _ := protocol.U64(f.Payload)
+		cn.push(hyaline.Op{Kind: hyaline.OpGet, Key: key})
+	case protocol.OpSet:
+		key, val, _ := protocol.KeyVal(f.Payload)
+		cn.push(hyaline.Op{Kind: hyaline.OpInsert, Key: key, Val: val})
+	case protocol.OpDel:
+		key, _ := protocol.U64(f.Payload)
+		cn.push(hyaline.Op{Kind: hyaline.OpDelete, Key: key})
+	case protocol.OpPing:
+		cn.flushOps()
+		cn.buf = protocol.AppendPingReply(cn.buf, f.Payload)
+		cn.srv.served.Add(1)
+	case protocol.OpLen:
+		cn.flushOps()
+		cn.buf = protocol.AppendValue(cn.buf, uint64(cn.srv.kv.Len()))
+		cn.srv.served.Add(1)
+	case protocol.OpStats:
+		cn.flushOps()
+		cn.buf = cn.srv.appendStats(cn.buf)
+		cn.srv.served.Add(1)
+	}
+}
+
+func (cn *conn) push(op hyaline.Op) {
+	cn.ops = append(cn.ops, op)
+	if len(cn.ops) >= cn.srv.maxPipeline {
+		cn.flushOps()
+	}
+}
+
+// flushOps applies the pending run as one batch — one session lease, one
+// Enter/Leave bracket — and encodes its replies in request order.
+func (cn *conn) flushOps() {
+	if len(cn.ops) == 0 {
+		return
+	}
+	cn.res = cn.srv.kv.ApplyInto(cn.res[:0], cn.ops)
+	cn.srv.batches.Add(1)
+	cn.srv.served.Add(int64(len(cn.ops)))
+	for i, op := range cn.ops {
+		r := cn.res[i]
+		switch {
+		case op.Kind == hyaline.OpGet && r.OK:
+			cn.buf = protocol.AppendValue(cn.buf, r.Val)
+		case r.OK:
+			cn.buf = protocol.AppendOK(cn.buf)
+		default:
+			cn.buf = protocol.AppendNil(cn.buf)
+		}
+	}
+	cn.ops = cn.ops[:0]
+}
+
+// protoErr flushes what came before the malformed frame (those requests
+// were well-formed and deserve their replies), queues an ERR reply, and
+// marks the connection for close — after a framing violation there is no
+// trustworthy boundary to resume parsing from.
+func (cn *conn) protoErr(err error) {
+	cn.flushOps()
+	cn.buf = protocol.AppendErr(cn.buf, err.Error())
+	cn.fatal = true
+}
+
+// send ships the window's replies to the writer half and arms a fresh
+// buffer.
+func (cn *conn) send() {
+	if len(cn.buf) == 0 {
+		return
+	}
+	*cn.bp = cn.buf
+	cn.out <- cn.bp
+	cn.bp = bufPool.Get().(*[]byte)
+	cn.buf = (*cn.bp)[:0]
+}

@@ -1,0 +1,450 @@
+package server_test
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hyaline"
+	"hyaline/internal/bench"
+	"hyaline/internal/protocol"
+	"hyaline/internal/server"
+)
+
+// testServer starts an in-process server on a loopback listener and
+// tears it down with the test.
+func testServer(t *testing.T, structure, scheme string, opts server.Options) (*hyaline.KV, *server.Server, string) {
+	t.Helper()
+	kv, err := hyaline.NewKV(structure, scheme, hyaline.KVOptions{
+		MaxThreads: 4,
+		ArenaCap:   1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(kv, opts)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveErr; err != server.ErrServerClosed {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+		if n := kv.InFlight(); n != 0 {
+			t.Errorf("%d session leases still in flight after shutdown", n)
+		}
+	})
+	return kv, srv, ln.Addr().String()
+}
+
+func dial(t *testing.T, addr string) (net.Conn, *protocol.Writer, *protocol.Reader) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, protocol.NewWriter(c), protocol.NewReader(c)
+}
+
+func readFrame(t *testing.T, rd *protocol.Reader) protocol.Frame {
+	t.Helper()
+	f, err := rd.ReadFrame()
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return f
+}
+
+func wantStatus(t *testing.T, f protocol.Frame, want protocol.Status) {
+	t.Helper()
+	if protocol.Status(f.Code) != want {
+		t.Fatalf("reply %s (payload %q), want %s", protocol.Status(f.Code), f.Payload, want)
+	}
+}
+
+// TestRoundTrip walks every command over one connection.
+func TestRoundTrip(t *testing.T) {
+	_, _, addr := testServer(t, "hashmap", "hyaline", server.Options{})
+	_, w, rd := dial(t, addr)
+
+	w.Set(7, 700)
+	w.Get(7)
+	w.Get(8)      // miss
+	w.Set(7, 701) // exists → NIL
+	w.Del(7)
+	w.Del(7) // absent → NIL
+	w.Len()
+	w.Ping([]byte("echo-me"))
+	w.Stats()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	wantStatus(t, readFrame(t, rd), protocol.StatusOK) // SET 7
+	f := readFrame(t, rd)                              // GET 7
+	wantStatus(t, f, protocol.StatusOK)
+	if v, _ := protocol.U64(f.Payload); v != 700 {
+		t.Fatalf("GET returned %d, want 700", v)
+	}
+	wantStatus(t, readFrame(t, rd), protocol.StatusNil) // GET 8
+	wantStatus(t, readFrame(t, rd), protocol.StatusNil) // SET exists
+	wantStatus(t, readFrame(t, rd), protocol.StatusOK)  // DEL 7
+	wantStatus(t, readFrame(t, rd), protocol.StatusNil) // DEL absent
+	f = readFrame(t, rd)                                // LEN
+	wantStatus(t, f, protocol.StatusOK)
+	if v, _ := protocol.U64(f.Payload); v != 0 {
+		t.Fatalf("LEN returned %d, want 0", v)
+	}
+	f = readFrame(t, rd) // PING
+	wantStatus(t, f, protocol.StatusOK)
+	if string(f.Payload) != "echo-me" {
+		t.Fatalf("PING echoed %q", f.Payload)
+	}
+	f = readFrame(t, rd) // STATS
+	wantStatus(t, f, protocol.StatusOK)
+	st, err := protocol.ParseStats(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Structure != "hashmap" || st.Scheme != "hyaline" || st.MaxThreads != 4 {
+		t.Fatalf("stats identity: %+v", st)
+	}
+	if st.Conns != 1 || st.TotalConns != 1 {
+		t.Fatalf("stats conn gauges: %+v", st)
+	}
+	if st.Ops == 0 {
+		t.Fatalf("stats served-ops is zero: %+v", st)
+	}
+}
+
+// TestPipelinedModel streams windows of mixed commands over one
+// connection and checks every reply against a map model — a
+// single-client stream is deterministic, so the model is exact. Meta
+// commands are sprinkled in as ordering barriers.
+func TestPipelinedModel(t *testing.T) {
+	_, _, addr := testServer(t, "hashmap", "hyaline", server.Options{MaxPipeline: 8})
+	_, w, rd := dial(t, addr)
+
+	rng := rand.New(rand.NewSource(1))
+	model := map[uint64]uint64{}
+	windows := 50
+	if testing.Short() {
+		windows = 10
+	}
+	type pred struct {
+		status protocol.Status
+		val    uint64
+		hasVal bool
+	}
+	for wnd := 0; wnd < windows; wnd++ {
+		n := 1 + rng.Intn(40) // crosses the MaxPipeline=8 batch boundary
+		var expect []pred
+		for i := 0; i < n; i++ {
+			key := uint64(rng.Intn(20))
+			switch rng.Intn(4) {
+			case 0:
+				w.Set(key, key*100+uint64(wnd))
+				if _, ok := model[key]; ok {
+					expect = append(expect, pred{status: protocol.StatusNil})
+				} else {
+					model[key] = key*100 + uint64(wnd)
+					expect = append(expect, pred{status: protocol.StatusOK})
+				}
+			case 1:
+				w.Del(key)
+				if _, ok := model[key]; ok {
+					delete(model, key)
+					expect = append(expect, pred{status: protocol.StatusOK})
+				} else {
+					expect = append(expect, pred{status: protocol.StatusNil})
+				}
+			case 2:
+				w.Get(key)
+				if v, ok := model[key]; ok {
+					expect = append(expect, pred{status: protocol.StatusOK, val: v, hasVal: true})
+				} else {
+					expect = append(expect, pred{status: protocol.StatusNil})
+				}
+			case 3:
+				w.Len()
+				expect = append(expect, pred{status: protocol.StatusOK, val: uint64(len(model)), hasVal: true})
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range expect {
+			f := readFrame(t, rd)
+			if protocol.Status(f.Code) != e.status {
+				t.Fatalf("window %d op %d: status %s, want %s", wnd, i, protocol.Status(f.Code), e.status)
+			}
+			if e.hasVal {
+				v, err := protocol.U64(f.Payload)
+				if err != nil {
+					t.Fatalf("window %d op %d: %v", wnd, i, err)
+				}
+				if v != e.val {
+					t.Fatalf("window %d op %d: value %d, want %d", wnd, i, v, e.val)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentConns hammers the server from many pipelined
+// connections; every GET hit is integrity-checked against the seeded
+// value pattern. Run under -race this is the oversubscription test:
+// conns × 2 goroutines over 4 leased tids.
+func TestConcurrentConns(t *testing.T) {
+	_, _, addr := testServer(t, "hashmap", "hyaline-1s", server.Options{})
+	conns, windows := 8, 60
+	if testing.Short() {
+		conns, windows = 4, 15
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			w := protocol.NewWriter(c)
+			rd := protocol.NewReader(c)
+			rng := rand.New(rand.NewSource(int64(i)))
+			kinds := make([]protocol.Op, 16)
+			keys := make([]uint64, 16)
+			for wnd := 0; wnd < windows; wnd++ {
+				for p := range kinds {
+					key := uint64(rng.Intn(512))
+					keys[p] = key
+					switch rng.Intn(3) {
+					case 0:
+						kinds[p] = protocol.OpSet
+						w.Set(key, key*31+7)
+					case 1:
+						kinds[p] = protocol.OpDel
+						w.Del(key)
+					default:
+						kinds[p] = protocol.OpGet
+						w.Get(key)
+					}
+				}
+				if err := w.Flush(); err != nil {
+					errs <- err
+					return
+				}
+				for p := range kinds {
+					f, err := rd.ReadFrame()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if protocol.Status(f.Code) == protocol.StatusErr {
+						errs <- io.ErrUnexpectedEOF
+						return
+					}
+					if kinds[p] == protocol.OpGet && protocol.Status(f.Code) == protocol.StatusOK {
+						v, _ := protocol.U64(f.Payload)
+						if v != keys[p]*31+7 {
+							t.Errorf("corrupted read: key %d → %d", keys[p], v)
+							return
+						}
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestMalformedFrame: a desynced or oversized request gets an ERR reply
+// and the connection is closed, with earlier pipelined requests still
+// answered in order.
+func TestMalformedFrame(t *testing.T) {
+	cases := []struct {
+		name string
+		junk []byte
+	}{
+		{"zero code", []byte{0, 0, 0}},
+		{"unknown op", protocol.AppendFrame(nil, 0x6f, nil)},
+		{"oversized get", protocol.AppendFrame(nil, byte(protocol.OpGet), make([]byte, 100))},
+		{"len with payload", protocol.AppendFrame(nil, byte(protocol.OpLen), []byte{1})},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, addr := testServer(t, "hashmap", "epoch", server.Options{})
+			conn, w, rd := dial(t, addr)
+			w.Set(1, 10) // well-formed prefix must still be answered
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := conn.Write(c.junk); err != nil {
+				t.Fatal(err)
+			}
+			wantStatus(t, readFrame(t, rd), protocol.StatusOK) // the SET
+			f := readFrame(t, rd)
+			wantStatus(t, f, protocol.StatusErr)
+			if len(f.Payload) == 0 {
+				t.Fatal("ERR reply with empty message")
+			}
+			if _, err := rd.ReadFrame(); err == nil {
+				t.Fatal("connection survived a protocol error")
+			}
+		})
+	}
+}
+
+// TestGracefulShutdown: in-flight pipelined windows complete, their
+// replies arrive, Serve returns ErrServerClosed, no leases leak, and new
+// connections are refused.
+func TestGracefulShutdown(t *testing.T) {
+	kv, err := hyaline.NewKV("hashmap", "hyaline", hyaline.KVOptions{MaxThreads: 4, ArenaCap: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(kv, server.Options{})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	// A connection with a full window in flight…
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := protocol.NewWriter(c)
+	rd := protocol.NewReader(c)
+	const inFlight = 32
+	for i := uint64(0); i < inFlight; i++ {
+		w.Set(i, i)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// …and an idle one parked in a blocking read.
+	idle, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != server.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+
+	// The in-flight window was drained: all replies then EOF.
+	got := 0
+	for {
+		f, err := rd.ReadFrame()
+		if err != nil {
+			break
+		}
+		wantStatus(t, f, protocol.StatusOK)
+		got++
+	}
+	if got != inFlight {
+		t.Fatalf("drained %d replies, want %d", got, inFlight)
+	}
+	if n := kv.InFlight(); n != 0 {
+		t.Fatalf("%d leases in flight after drain", n)
+	}
+	if kv.Len() != inFlight {
+		t.Fatalf("Len=%d after drain, want %d", kv.Len(), inFlight)
+	}
+	// The listener is gone.
+	if c2, err := net.Dial("tcp", addr); err == nil {
+		c2.Close()
+		t.Fatal("dial succeeded after shutdown")
+	}
+	// Serving again on a closed server refuses immediately.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(ln2); err != server.ErrServerClosed {
+		t.Fatalf("Serve after Shutdown returned %v", err)
+	}
+}
+
+// TestServeBench runs the registered client/server bench runner (the
+// machinery behind figures 21/22) end to end and sanity-checks the
+// result shape.
+func TestServeBench(t *testing.T) {
+	res, err := bench.Run(bench.Config{
+		Structure: "hashmap",
+		Scheme:    "hyaline",
+		Threads:   4,
+		Conns:     3,
+		Pipeline:  8,
+		Duration:  100 * time.Millisecond,
+		Prefill:   500,
+		KeyRange:  2_000,
+		ArenaCap:  1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("serve bench measured zero ops")
+	}
+	if res.Conns != 3 || res.Pipeline != 8 {
+		t.Fatalf("result echo: %+v", res)
+	}
+	if res.FinalStats.Allocated == 0 {
+		t.Fatal("serve bench touched no arena nodes")
+	}
+}
+
+// TestServeBenchRejects covers the serve-mode validation in bench.Run.
+func TestServeBenchRejects(t *testing.T) {
+	base := bench.Config{
+		Structure: "hashmap", Scheme: "hyaline", Threads: 2, Conns: 1,
+		Duration: 10 * time.Millisecond, Prefill: 10, KeyRange: 100, ArenaCap: 1 << 14,
+	}
+	mutate := []func(*bench.Config){
+		func(c *bench.Config) { c.Trim = true },
+		func(c *bench.Config) { c.Sessions = true },
+		func(c *bench.Config) { c.Stalled = 2 },
+		func(c *bench.Config) { c.Workload = bench.ScanMix },
+		func(c *bench.Config) { c.Pipeline = 1 << 20 },
+	}
+	for i, m := range mutate {
+		cfg := base
+		m(&cfg)
+		if _, err := bench.Run(cfg); err == nil {
+			t.Errorf("case %d: bad serve config accepted", i)
+		}
+	}
+}

@@ -260,6 +260,47 @@ func (kv *KV) Len() int { return kv.m.Len() }
 // Stats returns the reclamation counters accumulated since creation.
 func (kv *KV) Stats() Stats { return kv.tr.Stats() }
 
+// Snapshot is a point-in-time summary of a KV — the fields a serving or
+// monitoring layer reports. The network server's STATS frame encodes
+// exactly this plus its own connection gauges.
+type Snapshot struct {
+	Structure  string
+	Scheme     string
+	MaxThreads int
+	Len        int   // entries (approximate under churn)
+	Live       int64 // arena nodes currently allocated
+	Stats      Stats // cumulative reclamation counters
+}
+
+// Snapshot collects the KV's current summary. Each field is read
+// atomically but the struct as a whole is not an atomic cut — under
+// churn the gauges may be a few operations apart, which is what a
+// monitoring endpoint can honestly offer.
+func (kv *KV) Snapshot() Snapshot {
+	return Snapshot{
+		Structure:  kv.structure,
+		Scheme:     kv.tr.Name(),
+		MaxThreads: kv.pool.MaxThreads(),
+		Len:        kv.m.Len(),
+		Live:       kv.a.Live(),
+		Stats:      kv.tr.Stats(),
+	}
+}
+
+// InFlight returns the number of sessions held by operations currently
+// executing (active leases; idle cached sessions do not count). Zero at
+// quiescence — the network server's graceful shutdown asserts on it to
+// prove no batch bracket outlived the drain.
+func (kv *KV) InFlight() int {
+	n := 0
+	for i := range kv.byTid {
+		if kv.byTid[i].state.Load() == kvActive {
+			n++
+		}
+	}
+	return n
+}
+
 // Live returns the number of arena nodes currently allocated: map
 // entries (plus structure-internal nodes) and retired-but-unreclaimed
 // nodes.
