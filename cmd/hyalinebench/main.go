@@ -11,6 +11,8 @@
 //	hyalinebench -structure hashmap -scheme hyaline -threads 8   # one point
 //	hyalinebench -structure hashmap -scheme hyaline -sessions -batch 64   # batched leases
 //	hyalinebench -structure hashmap -scheme hyaline -conns 16 -pipeline 16   # client/server mode
+//	hyalinebench -structure blist -scheme hyaline -valuesize 128   # bytes payloads
+//	hyalinebench -snapshot bytes -duration 2s > BENCH_BYTES.json   # committed snapshot
 //
 // Absolute numbers depend on the machine; the paper's claims are about
 // shapes (scheme ordering, the oversubscription crossover, robustness
@@ -63,6 +65,8 @@ func run(args []string) error {
 		batch     = fs.Int("batch", 0, "single run: operations per lease+Enter/Leave bracket (0/1 = singleton ops)")
 		conns     = fs.Int("conns", 0, "single run: client/server mode — drive an in-process TCP server with this many closed-loop connections")
 		pipe      = fs.Int("pipeline", 0, "single run: requests kept in flight per connection (needs -conns; 0 = 1, singleton round trips)")
+		valsize   = fs.Int("valuesize", 0, "single run: bytes payload size — switches to []byte keys/values (bytes structures only, e.g. blist)")
+		snapshot  = fs.String("snapshot", "", "emit a JSON benchmark snapshot to stdout: kv (uint64 baseline) or bytes (payload twin)")
 		slots     = fs.Int("slots", 0, "Hyaline slot cap k (0 = next pow2 of cores)")
 		prefill   = fs.Int("prefill", 50_000, "prefill element count")
 		keyrange  = fs.Uint64("keyrange", 100_000, "key universe size")
@@ -101,6 +105,10 @@ func run(args []string) error {
 		return fmt.Errorf("-conns %d with -sessions/-goroutines: client/server mode manages its own goroutines", *conns)
 	case *conns > 0 && *batch > 0:
 		return fmt.Errorf("-conns %d with -batch: the server batches pipelined commands itself (use -pipeline)", *conns)
+	case *valsize < 0:
+		return fmt.Errorf("-valuesize %d: the payload size cannot be negative (0 = uint64 payloads)", *valsize)
+	case *valsize > 0 && *conns > 0:
+		return fmt.Errorf("-valuesize %d with -conns: the client/server bench drives uint64 frames only", *valsize)
 	}
 
 	switch {
@@ -108,6 +116,8 @@ func run(args []string) error {
 		return printList()
 	case *table1:
 		return printTable1()
+	case *snapshot != "":
+		return runSnapshot(*snapshot, *threads, *duration)
 	case *figure != "":
 		return runFigures(*figure, *duration, *threads, *prefill, *keyrange, *sweepCSV, *ascii)
 	case *structure != "" && *scheme != "":
@@ -117,7 +127,8 @@ func run(args []string) error {
 			rangePct: *rangePct, rangeSpan: *rangeSpan,
 			trim: *trim, sessions: *sessions, goroutines: *gor,
 			batch: *batch, conns: *conns, pipeline: *pipe,
-			slots: *slots, prefill: *prefill,
+			valueSize: *valsize,
+			slots:     *slots, prefill: *prefill,
 			keyrange: *keyrange, arenaCap: *arenaCap,
 		})
 	default:
@@ -215,7 +226,7 @@ type singleConfig struct {
 	threads, stalled, slots     int
 	prefill, arenaCap           int
 	rangePct, goroutines, batch int
-	conns, pipeline             int
+	conns, pipeline, valueSize  int
 	rangeSpan, keyrange         uint64
 	duration                    time.Duration
 	trim, sessions              bool
@@ -257,6 +268,7 @@ func runSingle(c singleConfig) error {
 		BatchSize:  c.batch,
 		Conns:      c.conns,
 		Pipeline:   c.pipeline,
+		ValueSize:  c.valueSize,
 		Prefill:    c.prefill,
 		KeyRange:   c.keyrange,
 		ArenaCap:   c.arenaCap,

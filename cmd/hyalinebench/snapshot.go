@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hyaline/internal/bench"
+)
+
+// snapshotDoc is the schema of the committed BENCH_*.json files: enough
+// host context to read the numbers honestly, plus the raw bench.Result
+// rows. Absolute throughput is machine-bound; the snapshots exist so a
+// regression in the *shape* (bytes vs uint64 ratio, batching win) is
+// visible across commits on comparable hardware.
+type snapshotDoc struct {
+	Generated  string         `json:"generated"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"numcpu"`
+	Duration   string         `json:"duration"`
+	Results    []bench.Result `json:"results"`
+}
+
+// snapshotMatrix returns the fixed config matrix for one snapshot kind.
+// "kv" is the uint64 baseline; "bytes" is its payload twin over the
+// same schemes, so each bytes row has a directly comparable kv row
+// (same scheme, workload and batching).
+func snapshotMatrix(kind string, threads int, duration time.Duration) ([]bench.Config, error) {
+	base := bench.Config{
+		Threads:  threads,
+		Duration: duration,
+		Prefill:  2_000,
+		KeyRange: 4_000,
+		ArenaCap: 1 << 20,
+	}
+	var configs []bench.Config
+	for _, scheme := range []string{"hyaline", "epoch"} {
+		read := base
+		read.Scheme = scheme
+		read.Workload = bench.ReadMostly
+		batched := base
+		batched.Scheme = scheme
+		batched.Workload = bench.WriteHeavy
+		batched.Sessions = true
+		batched.BatchSize = 64
+		switch kind {
+		case "kv":
+			read.Structure = "list"
+			batched.Structure = "list"
+			configs = append(configs, read, batched)
+		case "bytes":
+			for _, vs := range []int{16, 128, 1024} {
+				c := read
+				c.Structure = "blist"
+				c.ValueSize = vs
+				configs = append(configs, c)
+			}
+			batched.Structure = "blist"
+			batched.ValueSize = 128
+			configs = append(configs, batched)
+		default:
+			return nil, fmt.Errorf("-snapshot %q: want kv or bytes", kind)
+		}
+	}
+	return configs, nil
+}
+
+// runSnapshot executes the matrix and writes the JSON document to
+// stdout (progress rows go to stderr so redirection captures only the
+// document).
+func runSnapshot(kind string, threads int, duration time.Duration) error {
+	configs, err := snapshotMatrix(kind, threads, duration)
+	if err != nil {
+		return err
+	}
+	doc := snapshotDoc{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Duration:   duration.String(),
+	}
+	for _, cfg := range configs {
+		res, err := bench.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("snapshot %s/%s: %w", cfg.Structure, cfg.Scheme, err)
+		}
+		fmt.Fprintln(os.Stderr, res)
+		doc.Results = append(doc.Results, res)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

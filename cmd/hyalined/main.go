@@ -9,6 +9,13 @@
 //
 //	hyalined -addr :4980 -structure hashmap -scheme hyaline
 //	hyalined -addr 127.0.0.1:0 -scheme hyaline-1s -threads 16
+//	hyalined -bytes -scheme hyaline          # []byte keys/values, GETB/SETB/DELB
+//
+// With -bytes the daemon serves a bytes-valued map (variable-size blob
+// payloads carved from per-size-class slabs inside the same simulated
+// unmanaged heap) and speaks the GETB/SETB/DELB frames; the uint64
+// GET/SET/DEL data ops become protocol errors on such a server, and
+// vice versa.
 //
 // The bound address is printed on startup (useful with port 0); drive it
 // with cmd/hyalineload. On SIGINT the server stops accepting, finishes
@@ -49,6 +56,8 @@ func run(args []string) error {
 		pipeline  = fs.Int("pipeline", server.DefaultMaxPipeline, "max in-flight commands coalesced into one batched apply per connection")
 		arenaCap  = fs.Int("arenacap", 1<<22, "node pool capacity (virtual until touched)")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown budget before connections are closed forcibly")
+		bytesMode = fs.Bool("bytes", false, "serve []byte keys/values (GETB/SETB/DELB frames, blob slab heap)")
+		blobCap   = fs.Int("blobbudget", 1<<26, "per-size-class blob slab budget in bytes (-bytes only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,26 +69,54 @@ func run(args []string) error {
 		return fmt.Errorf("-pipeline %d: at least one command per batch", *pipeline)
 	}
 
-	kv, err := hyaline.NewKV(*structure, *scheme, hyaline.KVOptions{
-		MaxThreads: *threads,
-		ArenaCap:   *arenaCap,
-	})
-	if err != nil {
-		return err
+	// The two payload families expose the same serving surface; front is
+	// whichever one the flags picked.
+	type front interface {
+		Structure() string
+		Scheme() string
+		MaxThreads() int
+		Flush()
+		Snapshot() hyaline.Snapshot
+		InFlight() int
+	}
+	var (
+		fr  front
+		srv *server.Server
+	)
+	logger := log.New(os.Stderr, "hyalined: ", 0)
+	opts := server.Options{MaxPipeline: *pipeline, Logf: logger.Printf}
+	if *bytesMode {
+		st := *structure
+		if st == "hashmap" { // the uint64 default; bytes structures have their own
+			st = "blist"
+		}
+		kvb, err := hyaline.NewKVBytes(st, *scheme, hyaline.KVOptions{
+			MaxThreads:      *threads,
+			ArenaCap:        *arenaCap,
+			BlobClassBudget: *blobCap,
+		})
+		if err != nil {
+			return err
+		}
+		fr, srv = kvb, server.NewBytes(kvb, opts)
+	} else {
+		kv, err := hyaline.NewKV(*structure, *scheme, hyaline.KVOptions{
+			MaxThreads: *threads,
+			ArenaCap:   *arenaCap,
+		})
+		if err != nil {
+			return err
+		}
+		fr, srv = kv, server.New(kv, opts)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 
-	logger := log.New(os.Stderr, "hyalined: ", 0)
-	logger.Printf("listening on %s (structure=%s scheme=%s threads=%d pipeline=%d)",
-		ln.Addr(), kv.Structure(), kv.Scheme(), kv.MaxThreads(), *pipeline)
+	logger.Printf("listening on %s (structure=%s scheme=%s threads=%d pipeline=%d bytes=%v)",
+		ln.Addr(), fr.Structure(), fr.Scheme(), fr.MaxThreads(), *pipeline, *bytesMode)
 
-	srv := server.New(kv, server.Options{
-		MaxPipeline: *pipeline,
-		Logf:        logger.Printf,
-	})
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -98,17 +135,17 @@ func run(args []string) error {
 	shutdownErr := srv.Shutdown(ctx)
 	<-serveErr // Serve has returned ErrServerClosed by now
 
-	kv.Flush()
+	fr.Flush()
 	accepted, _, served, batches := srv.Counters()
-	snap := kv.Snapshot()
+	snap := fr.Snapshot()
 	logger.Printf("drained %d connections (accepted %d, served %d ops in %d apply batches)",
 		activeBefore, accepted, served, batches)
 	logger.Printf("kv: len=%d live=%d unreclaimed=%d, in-flight leases: %d",
-		snap.Len, snap.Live, snap.Stats.Unreclaimed(), kv.InFlight())
+		snap.Len, snap.Live, snap.Stats.Unreclaimed(), fr.InFlight())
 	if shutdownErr != nil {
 		return fmt.Errorf("drain budget exceeded: %w", shutdownErr)
 	}
-	if n := kv.InFlight(); n != 0 {
+	if n := fr.InFlight(); n != 0 {
 		return fmt.Errorf("%d session leases still in flight after drain", n)
 	}
 	return nil

@@ -1,45 +1,47 @@
 package main
 
 import (
+	"math"
 	"math/bits"
 	"time"
 )
 
-// hist is a log-linear latency histogram: 64 power-of-two exponent rows
-// of 8 linear sub-buckets over nanoseconds, giving ~9% worst-case
-// relative error per bucket — plenty for p50/p99 of round-trip times,
-// with fixed memory and no allocation on the record path.
+// histBuckets is the dense bucket count: 16 exact buckets for values
+// 0..15, then 60 exponent rows (top bit 4..63) of 8 linear sub-buckets.
+// The highest value, 1<<64-1, lands in bucket 15 + 60*8 = 495.
+const histBuckets = 16 + 60*8
+
+// hist is a log-linear latency histogram over nanoseconds: values below
+// 16 are stored exactly, larger values in 8 linear sub-buckets per
+// power-of-two row, giving ~6.25% worst-case relative error per bucket —
+// plenty for p50/p99 of round-trip times, with fixed memory and no
+// allocation on the record path.
 type hist struct {
 	count   int64
-	buckets [64 * 8]int64
+	buckets [histBuckets]int64
 }
 
-// bucketOf maps a nanosecond value to its bucket index.
+// bucketOf maps a nanosecond value to its bucket index. The index is
+// monotone in v and the bucket space is dense: every index below
+// histBuckets is reachable.
 func bucketOf(v uint64) int {
-	if v == 0 {
-		v = 1
+	if v < 16 {
+		return int(v) // exact
 	}
-	exp := bits.Len64(v) // 1..64: position of the top bit
-	if exp <= 4 {
-		return int(v) // values < 16 are exact
-	}
+	exp := bits.Len64(v)          // 5..64: position of the top bit
 	sub := (v >> uint(exp-4)) & 7 // 3 bits below the top bit
-	return (exp-1)*8 + int(sub)
+	return (exp-5)*8 + 16 + int(sub)
 }
 
-// bucketMid returns the midpoint of a bucket's value range. Buckets
-// 16..31 are unreachable (values below 16 are stored exactly in buckets
-// 0..15, and the first sub-bucketed exponent row starts at 32) and
-// report 0.
+// bucketMid returns the midpoint of a bucket's value range; it is total
+// over the dense index space and inverts bucketOf to within half a
+// bucket width.
 func bucketMid(i int) uint64 {
 	if i < 16 {
 		return uint64(i)
 	}
-	if i < 32 {
-		return 0
-	}
-	exp := i/8 + 1
-	sub := uint64(i % 8)
+	exp := (i-16)/8 + 5
+	sub := uint64((i - 16) % 8)
 	lo := uint64(1)<<uint(exp-1) + sub<<uint(exp-4)
 	return lo + uint64(1)<<uint(exp-4)/2
 }
@@ -56,23 +58,25 @@ func (h *hist) merge(o *hist) {
 	}
 }
 
-// quantile returns the approximate q-quantile (0 < q <= 1), or 0 when
-// the histogram is empty.
+// quantile returns the approximate q-quantile — the midpoint of the
+// bucket holding the sample at rank ⌈q·n⌉ — or 0 when the histogram is
+// empty. The rank is clamped to [1, n], so q<=0 degrades to the minimum
+// and q>=1 to the maximum.
 func (h *hist) quantile(q float64) time.Duration {
 	if h.count == 0 {
 		return 0
 	}
-	target := int64(q * float64(h.count))
-	if float64(target) < q*float64(h.count) {
-		target++ // ceil: the q-quantile is the sample at rank ⌈q·n⌉
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
 	}
-	if target < 1 {
-		target = 1
+	if rank > h.count {
+		rank = h.count
 	}
 	var cum int64
 	for i, n := range h.buckets {
 		cum += n
-		if cum >= target {
+		if cum >= rank {
 			return time.Duration(bucketMid(i))
 		}
 	}

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"time"
 )
@@ -76,16 +78,99 @@ func TestHistMergeAndEmpty(t *testing.T) {
 
 // TestBucketRoundTrip: every bucket's midpoint maps back to the same
 // bucket — the decode side of the histogram is consistent with the
-// encode side.
+// encode side. The index space is dense, so no bucket is exempt.
 func TestBucketRoundTrip(t *testing.T) {
-	for i := 1; i < len(hist{}.buckets); i++ {
+	for i := 0; i < histBuckets; i++ {
 		mid := bucketMid(i)
-		if mid == 0 {
-			continue
-		}
 		if got := bucketOf(mid); got != i {
 			t.Fatalf("bucketOf(bucketMid(%d)=%d) = %d", i, mid, got)
 		}
+	}
+	// And the index map is monotone and gap-free over a boundary sweep.
+	prev := -1
+	for _, v := range []uint64{0, 1, 15, 16, 17, 31, 32, 63, 64, 1 << 20, 1<<64 - 1} {
+		i := bucketOf(v)
+		if i < prev {
+			t.Fatalf("bucketOf(%d)=%d < previous index %d", v, i, prev)
+		}
+		if i >= histBuckets {
+			t.Fatalf("bucketOf(%d)=%d out of range", v, i)
+		}
+		prev = i
+	}
+}
+
+// TestBucketMidError: for every representable value, decoding the
+// bucket it lands in recovers the value to within the histogram's
+// advertised relative error (half a bucket width, ≤6.25%, comfortably
+// inside the ~9% budget the reports assume).
+func TestBucketMidError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	check := func(v uint64) {
+		t.Helper()
+		mid := bucketMid(bucketOf(v))
+		diff := float64(mid) - float64(v)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.09*float64(v)+1 {
+			t.Fatalf("bucketMid(bucketOf(%d)) = %d: relative error %.3f", v, mid, diff/float64(v))
+		}
+	}
+	// Exhaustive over the exact range and the first sub-bucketed rows.
+	for v := uint64(0); v < 4096; v++ {
+		check(v)
+	}
+	// Log-uniform over the full 64-bit range, including row boundaries.
+	for i := 0; i < 100_000; i++ {
+		exp := uint(rng.Intn(64))
+		v := uint64(1)<<exp | rng.Uint64()&(uint64(1)<<exp-1)
+		check(v)
+		check(uint64(1) << exp)   // row floor
+		check(uint64(1)<<exp - 1) // row ceiling
+		check(uint64(1)<<exp + 1) // just past the floor
+	}
+}
+
+// TestHistQuantileExact: quantiles agree with the exact order statistic
+// (the sample at rank ⌈q·n⌉ of the sorted data) to within bucket error,
+// across small n where off-by-one rank bugs show up.
+func TestHistQuantileExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	quantiles := []float64{0.01, 0.5, 0.99, 1.0}
+	for _, n := range []int{1, 2, 3, 5, 10, 100, 1000} {
+		var h hist
+		samples := make([]uint64, n)
+		for i := range samples {
+			samples[i] = uint64(rng.Int63n(1_000_000_000))
+			h.record(time.Duration(samples[i]))
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range quantiles {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := samples[rank-1]
+			got := uint64(h.quantile(q))
+			// The histogram answer must be the midpoint of the exact
+			// sample's own bucket.
+			if want := bucketMid(bucketOf(exact)); got != want {
+				t.Fatalf("n=%d q=%g: quantile=%d, exact sample %d buckets to %d", n, q, got, exact, want)
+			}
+		}
+	}
+	// Degenerate q values clamp instead of running off either end.
+	var h hist
+	h.record(5 * time.Millisecond)
+	h.record(7 * time.Millisecond)
+	min := bucketMid(bucketOf(uint64(5 * time.Millisecond)))
+	max := bucketMid(bucketOf(uint64(7 * time.Millisecond)))
+	if got := uint64(h.quantile(-0.5)); got != min {
+		t.Fatalf("quantile(-0.5)=%d, want min %d", got, min)
+	}
+	if got := uint64(h.quantile(2.0)); got != max {
+		t.Fatalf("quantile(2.0)=%d, want max %d", got, max)
 	}
 }
 

@@ -10,6 +10,15 @@
 //	hyalineload -addr 127.0.0.1:4980 -conns 64 -pipeline 1   # singleton baseline
 //	hyalineload -addr ... -mix read            # 5% insert / 5% delete / 90% get
 //	hyalineload -addr ... -mix 20/20/60        # custom insert/delete/get split
+//	hyalineload -addr ... -bytes -valuesize 16-4096   # []byte ops, uniform sizes
+//	hyalineload -addr ... -bytes -valuesize bimodal   # 90% small, 10% 1-8 KiB
+//
+// With -bytes the generator speaks GETB/SETB/DELB against a hyalined
+// started with -bytes: keys are 8-byte big-endian encodings of the same
+// key universe and values are runs of the fill byte key*31+7 whose
+// length is drawn from the -valuesize distribution (a fixed "N", a
+// uniform "MIN-MAX", or "bimodal"). A GETB hit with any other content
+// is reported as a reclamation bug, exactly like the uint64 check.
 //
 // Every GET hit is integrity-checked (SET writes key*31+7, so a hit
 // returning anything else means a reclamation bug corrupted the map) and
@@ -17,6 +26,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -71,6 +81,61 @@ func parseMix(s string) (mix, error) {
 	return mix{pct[0], pct[1]}, nil
 }
 
+// maxValueSize bounds -valuesize so a SETB frame (2-byte key prefix +
+// 8-byte key + value) always fits MaxPayload with room to spare.
+const maxValueSize = 32 << 10
+
+// vsDist is a value-size distribution: fixed ("64"), uniform
+// ("16-4096"), or bimodal (90% of draws uniform in 16..128 bytes, 10%
+// uniform in 1..8 KiB — small metadata with an occasional large blob).
+type vsDist struct {
+	bimodal  bool
+	min, max int // inclusive; min == max for fixed
+}
+
+func parseValueSize(s string) (vsDist, error) {
+	if s == "bimodal" {
+		return vsDist{bimodal: true}, nil
+	}
+	lo, hi, ok := strings.Cut(s, "-")
+	min, err := strconv.Atoi(strings.TrimSpace(lo))
+	if err != nil || min < 0 {
+		return vsDist{}, fmt.Errorf("-valuesize %q: want N, MIN-MAX, or bimodal", s)
+	}
+	max := min
+	if ok {
+		if max, err = strconv.Atoi(strings.TrimSpace(hi)); err != nil || max < min {
+			return vsDist{}, fmt.Errorf("-valuesize %q: want N, MIN-MAX, or bimodal", s)
+		}
+	}
+	if max > maxValueSize {
+		return vsDist{}, fmt.Errorf("-valuesize %q: values above %d bytes do not fit a frame", s, maxValueSize)
+	}
+	return vsDist{min: min, max: max}, nil
+}
+
+func (d vsDist) sample(rng *rand.Rand) int {
+	if d.bimodal {
+		if rng.Intn(10) == 0 {
+			return 1024 + rng.Intn(7*1024+1)
+		}
+		return 16 + rng.Intn(113)
+	}
+	if d.min == d.max {
+		return d.min
+	}
+	return d.min + rng.Intn(d.max-d.min+1)
+}
+
+// cap returns the largest value the distribution can produce, for
+// sizing the per-connection scratch buffer.
+func (d vsDist) cap() int {
+	if d.bimodal {
+		return 8 << 10
+	}
+	return d.max
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("hyalineload", flag.ContinueOnError)
 	var (
@@ -81,6 +146,8 @@ func run(args []string) error {
 		mixFlag  = fs.String("mix", "write", "operation mix: write (50i/50d), read (5i/5d/90g) or I/D/G percentages")
 		keyrange = fs.Uint64("keyrange", 100_000, "key universe size")
 		prefill  = fs.Int("prefill", 0, "SETs to issue before measuring (warms the map for read mixes)")
+		useBytes = fs.Bool("bytes", false, "drive GETB/SETB/DELB against a hyalined -bytes server")
+		vsFlag   = fs.String("valuesize", "64", "value-size distribution for -bytes: N, MIN-MAX, or bimodal")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,9 +168,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	vs, err := parseValueSize(*vsFlag)
+	if err != nil {
+		return err
+	}
 
 	if *prefill > 0 {
-		if err := doPrefill(*addr, *prefill, *keyrange); err != nil {
+		if err := doPrefill(*addr, *prefill, *keyrange, *useBytes, vs); err != nil {
 			return fmt.Errorf("prefill: %w", err)
 		}
 	}
@@ -127,7 +198,13 @@ func run(args []string) error {
 		done.Add(1)
 		go func(i int) {
 			defer done.Done()
-			n, err := drive(*addr, i, *pipeline, m, *keyrange, &stop, &started, release, &hists[i])
+			var n int64
+			var err error
+			if *useBytes {
+				n, err = driveBytes(*addr, i, *pipeline, m, *keyrange, vs, &stop, &started, release, &hists[i])
+			} else {
+				n, err = drive(*addr, i, *pipeline, m, *keyrange, &stop, &started, release, &hists[i])
+			}
 			ops[i] = n
 			if err != nil {
 				fail(err)
@@ -153,8 +230,12 @@ func run(args []string) error {
 	for _, n := range ops {
 		total += n
 	}
-	fmt.Printf("hyalineload: addr=%s conns=%d pipeline=%d mix=%s window=%v\n",
-		*addr, *conns, *pipeline, *mixFlag, elapsed.Round(time.Millisecond))
+	family := "uint64"
+	if *useBytes {
+		family = "bytes valuesize=" + *vsFlag
+	}
+	fmt.Printf("hyalineload: addr=%s conns=%d pipeline=%d mix=%s payload=%s window=%v\n",
+		*addr, *conns, *pipeline, *mixFlag, family, elapsed.Round(time.Millisecond))
 	fmt.Printf("  client: ops=%d throughput=%.3f Mops/s\n",
 		total, float64(total)/elapsed.Seconds()/1e6)
 	fmt.Printf("  latency (per pipelined round trip): p50=%v p99=%v\n",
@@ -234,10 +315,106 @@ func drive(addr string, seed, pipeline int, m mix, keyrange uint64,
 	return ops, nil
 }
 
+// driveBytes is the []byte twin of drive: same closed loop and mix, but
+// keys are 8-byte big-endian encodings and values are fill-byte runs of
+// distribution-drawn length. Every GETB hit is content-checked: the
+// value must be a run of the key's fill byte (any length the server may
+// have stored), so a reclamation bug that hands back a recycled or
+// poisoned blob is caught on the wire.
+func driveBytes(addr string, seed, pipeline int, m mix, keyrange uint64, vs vsDist,
+	stop *atomic.Bool, started *sync.WaitGroup, release <-chan struct{}, h *hist) (int64, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		started.Done()
+		return 0, err
+	}
+	defer c.Close()
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	rng := rand.New(rand.NewSource(int64(seed)*2654435761 + 1))
+	w := protocol.NewWriter(c)
+	rd := protocol.NewReader(c)
+	keys := make([]uint64, pipeline)
+	kinds := make([]protocol.Op, pipeline)
+	keyBuf := make([]byte, 8)
+	valBuf := make([]byte, vs.cap())
+	started.Done()
+	<-release
+
+	ops := int64(0)
+	for !stop.Load() {
+		for p := 0; p < pipeline; p++ {
+			key := uint64(rng.Int63n(int64(keyrange)))
+			keys[p] = key
+			binary.BigEndian.PutUint64(keyBuf, key)
+			roll := rng.Intn(100)
+			switch {
+			case roll < m.insertPct:
+				kinds[p] = protocol.OpSetB
+				val := valBuf[:vs.sample(rng)]
+				fillValue(val, key)
+				w.SetB(keyBuf, val)
+			case roll < m.insertPct+m.deletePct:
+				kinds[p] = protocol.OpDelB
+				w.DelB(keyBuf)
+			default:
+				kinds[p] = protocol.OpGetB
+				w.GetB(keyBuf)
+			}
+		}
+		t0 := time.Now()
+		if err := w.Flush(); err != nil {
+			return ops, err
+		}
+		for p := 0; p < pipeline; p++ {
+			f, err := rd.ReadFrame()
+			if err != nil {
+				return ops, err
+			}
+			switch protocol.Status(f.Code) {
+			case protocol.StatusOK:
+				if kinds[p] == protocol.OpGetB {
+					if err := checkValue(f.Payload, keys[p]); err != nil {
+						return ops, err
+					}
+				}
+			case protocol.StatusNil:
+				// clean miss / already-present — expected under churn
+			default:
+				return ops, fmt.Errorf("server error reply: %s", f.Payload)
+			}
+		}
+		h.record(time.Since(t0))
+		ops += int64(pipeline)
+	}
+	return ops, nil
+}
+
+// fillValue writes the integrity pattern for key: a run of the fill
+// byte key*31+7.
+func fillValue(dst []byte, key uint64) {
+	fill := byte(key*31 + 7)
+	for i := range dst {
+		dst[i] = fill
+	}
+}
+
+// checkValue verifies a GETB payload against the key's fill pattern.
+func checkValue(val []byte, key uint64) error {
+	fill := byte(key*31 + 7)
+	for i, b := range val {
+		if b != fill {
+			return fmt.Errorf("corrupted read: GETB %d byte %d is %#x, want %#x (reclamation bug?)", key, i, b, fill)
+		}
+	}
+	return nil
+}
+
 // doPrefill streams SETs over one pipelined connection until count keys
 // have been attempted (duplicates may collapse; the goal is a warm map,
 // not an exact census).
-func doPrefill(addr string, count int, keyrange uint64) error {
+func doPrefill(addr string, count int, keyrange uint64, useBytes bool, vs vsDist) error {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -246,6 +423,8 @@ func doPrefill(addr string, count int, keyrange uint64) error {
 	rng := rand.New(rand.NewSource(4242))
 	w := protocol.NewWriter(c)
 	rd := protocol.NewReader(c)
+	keyBuf := make([]byte, 8)
+	valBuf := make([]byte, vs.cap())
 	const window = 256
 	for sent := 0; sent < count; {
 		n := count - sent
@@ -254,7 +433,14 @@ func doPrefill(addr string, count int, keyrange uint64) error {
 		}
 		for i := 0; i < n; i++ {
 			key := uint64(rng.Int63n(int64(keyrange)))
-			w.Set(key, key*31+7)
+			if useBytes {
+				binary.BigEndian.PutUint64(keyBuf, key)
+				val := valBuf[:vs.sample(rng)]
+				fillValue(val, key)
+				w.SetB(keyBuf, val)
+			} else {
+				w.Set(key, key*31+7)
+			}
 		}
 		if err := w.Flush(); err != nil {
 			return err

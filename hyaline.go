@@ -83,6 +83,9 @@ type (
 	// Ranger is a Map that additionally supports ordered range scans
 	// (the ordered structures: list, natarajan, skiplist).
 	Ranger = ds.Ranger
+	// BytesMap is the common interface of the []byte-payload structures
+	// (KVBytes is the transparent front-end over one).
+	BytesMap = ds.BytesMap
 	// Options carries per-scheme tuning; zero values pick defaults.
 	Options = trackers.Config
 
@@ -113,6 +116,12 @@ func Schemes() []string { return trackers.Names() }
 
 // Structures lists the benchmark data structures.
 func Structures() []string { return ds.Names() }
+
+// BytesStructures lists the []byte-payload data structures.
+func BytesStructures() []string { return ds.BytesNames() }
+
+// SupportsBytes reports whether the bytes structure runs under scheme.
+func SupportsBytes(structure, scheme string) bool { return ds.SupportsBytes(structure, scheme) }
 
 // Supports reports whether structure runs under scheme (the Bonsai tree
 // excludes HP and HE, as in the paper).

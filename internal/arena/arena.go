@@ -125,6 +125,14 @@ type Arena struct {
 
 	capacity int
 	noPoison bool
+
+	// blobs is the optional variable-size slab heap (see slab.go). When
+	// enabled, every node freed through this arena must hold a valid
+	// BlobRef (or NilBlob) in both Key and Val — Free releases them with
+	// the node — so blob-enabled arenas are reserved for the bytes
+	// structures; the uint64 structures keep arbitrary words in Key/Val
+	// and must run on a plain arena.
+	blobs *blobHeap
 }
 
 // DisablePoison turns off payload poisoning in Free. The incarnation
@@ -255,6 +263,19 @@ func (a *Arena) Free(tid int, idx ptr.Index) {
 	if seq := n.Seq.Add(1); seq&1 == 0 {
 		panic("arena: double free")
 	}
+	if a.blobs != nil {
+		// The node owns its byte payloads: release them with it, before
+		// the poison stores below overwrite the refs. Freeing here — and
+		// nowhere else — is what makes blob safety exactly node safety
+		// under every scheme. Reads happen after the Seq check so a
+		// double-freed node cannot double-free its blobs.
+		if ref := BlobRef(n.Key.Load()); !ref.IsNil() {
+			a.freeBlob(ref)
+		}
+		if ref := BlobRef(n.Val.Load()); !ref.IsNil() {
+			a.freeBlob(ref)
+		}
+	}
 	if !a.noPoison {
 		n.Key.Store(Poison)
 		n.Val.Store(Poison)
@@ -294,6 +315,9 @@ func (a *Arena) Reset() {
 		a.free[s].head.Store(0)
 		a.counters[s].allocated.Store(0)
 		a.counters[s].freed.Store(0)
+	}
+	if a.blobs != nil {
+		a.blobs.reset()
 	}
 }
 

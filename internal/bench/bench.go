@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -116,6 +117,15 @@ type Config struct {
 	// Pin locks workers to OS threads, approximating the paper's pthread
 	// pinning.
 	Pin bool
+	// ValueSize switches the run to a bytes-payload structure (see
+	// ds.BytesNames): keys are the same uint64 universe encoded as
+	// 8-byte big-endian, values are ValueSize-byte blobs. 0 keeps the
+	// uint64 payload path. Bytes runs have no range scans and no
+	// client/server mode (drive hyalined/hyalineload for served bytes).
+	ValueSize int
+	// BlobBudget is the per-size-class blob slab budget in bytes for
+	// bytes runs (see arena.EnableBlobs). Default 64 MiB per class.
+	BlobBudget int
 	// Tracker carries scheme tuning; MaxThreads is filled in by Run.
 	Tracker trackers.Config
 	// ArenaCap overrides the node pool size. The default scales with the
@@ -155,6 +165,9 @@ func (c *Config) fill() {
 	if c.Conns > 0 && c.Pipeline < 1 {
 		c.Pipeline = 1
 	}
+	if c.ValueSize > 0 && c.BlobBudget == 0 {
+		c.BlobBudget = 1 << 26
+	}
 }
 
 // maxPipelineDepth bounds client/server pipelining; see
@@ -186,8 +199,10 @@ type Result struct {
 	// the run used in-process workers).
 	Conns    int
 	Pipeline int
-	Workload string
-	Duration time.Duration
+	// ValueSize is the bytes-run value size (0 = uint64 payloads).
+	ValueSize int
+	Workload  string
+	Duration  time.Duration
 
 	Ops            int64
 	ScannedKeys    int64   // keys visited by range scans (scan-mix only)
@@ -211,13 +226,24 @@ func (r Result) String() string {
 	if r.Conns > 0 {
 		row += fmt.Sprintf("  serve(conns=%d pipe=%d)", r.Conns, r.Pipeline)
 	}
+	if r.ValueSize > 0 {
+		row += fmt.Sprintf("  bytes(valuesize=%d)", r.ValueSize)
+	}
 	return row
 }
 
 // Run executes one benchmark configuration.
 func Run(cfg Config) (Result, error) {
 	cfg.fill()
-	if !ds.Supports(cfg.Structure, cfg.Scheme) {
+	bytesMode := cfg.ValueSize > 0
+	switch {
+	case bytesMode && !ds.SupportsBytes(cfg.Structure, cfg.Scheme):
+		return Result{}, fmt.Errorf("bench: bytes structure %s does not support scheme %s (known: %v)", cfg.Structure, cfg.Scheme, ds.BytesNames())
+	case bytesMode && cfg.Workload.RangePct > 0:
+		return Result{}, fmt.Errorf("bench: bytes structures have no range scans")
+	case bytesMode && cfg.Conns > 0:
+		return Result{}, fmt.Errorf("bench: no client/server bytes mode here; drive hyalined -bytes with hyalineload instead")
+	case !bytesMode && !ds.Supports(cfg.Structure, cfg.Scheme):
 		return Result{}, fmt.Errorf("bench: %s does not support scheme %s", cfg.Structure, cfg.Scheme)
 	}
 	if cfg.Trim && cfg.Scheme != "hyaline" && cfg.Scheme != "hyaline-1" &&
@@ -245,8 +271,12 @@ func Run(cfg Config) (Result, error) {
 	total := cfg.Threads + cfg.Stalled
 	tcfg := cfg.Tracker
 	tcfg.MaxThreads = total
-	a := takeArena(cfg.ArenaCap)
-	defer putArena(a)
+	blobBudget := 0
+	if bytesMode {
+		blobBudget = cfg.BlobBudget
+	}
+	a := takeArena(cfg.ArenaCap, blobBudget)
+	defer putArena(a, blobBudget)
 	// Benchmarks measure reclamation cost, not diagnostics: skip payload
 	// poisoning so Free costs what a C free() costs.
 	a.DisablePoison()
@@ -254,7 +284,15 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	m, err := ds.New(cfg.Structure, a, tr, total)
+	var (
+		m  ds.Map
+		bm ds.BytesMap
+	)
+	if bytesMode {
+		bm, err = ds.NewBytes(cfg.Structure, a, tr, total)
+	} else {
+		m, err = ds.New(cfg.Structure, a, tr, total)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -264,7 +302,17 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("bench: %s does not support range scans (ordered structures only)", cfg.Structure)
 	}
 
-	prefill(tr, m, cfg)
+	// benchVal is the shared read-only value blob for bytes runs.
+	var benchVal []byte
+	if bytesMode {
+		benchVal = make([]byte, cfg.ValueSize)
+		for i := range benchVal {
+			benchVal[i] = 0xA5
+		}
+		prefillBytes(tr, bm, cfg, benchVal)
+	} else {
+		prefill(tr, m, cfg)
+	}
 
 	// In session mode, workers lease tids per operation instead of
 	// owning one; there may be more workers than tids.
@@ -306,7 +354,13 @@ func Run(cfg Config) (Result, error) {
 				tid = s.Tid()
 			}
 			tr.Enter(tid)
-			m.Get(tid, uint64(tid)%cfg.KeyRange)
+			if bytesMode {
+				var kbuf [8]byte
+				binary.BigEndian.PutUint64(kbuf[:], uint64(tid)%cfg.KeyRange)
+				bm.Get(tid, kbuf[:], nil)
+			} else {
+				m.Get(tid, uint64(tid)%cfg.KeyRange)
+			}
 			started.Done()
 			<-stallWoken // park inside the operation
 			tr.Leave(tid)
@@ -330,7 +384,14 @@ func Run(cfg Config) (Result, error) {
 			<-release
 
 			trimmer, _ := tr.(smr.Trimmer)
-			ranger, _ := m.(ds.Ranger)
+			var ranger ds.Ranger
+			if !bytesMode {
+				ranger, _ = m.(ds.Ranger)
+			}
+			// Bytes-run scratch: key encode buffer and a reused Get
+			// destination, so the measured loop stays allocation-free.
+			var kbuf [8]byte
+			var dst []byte
 			var scanned int64 // keeps the scan body from being a no-op
 			tid := w
 			batch := cfg.BatchSize
@@ -368,6 +429,19 @@ func Run(cfg Config) (Result, error) {
 					}
 					key := uint64(rng.Int63n(int64(cfg.KeyRange)))
 					mix := rng.Intn(100)
+					if bytesMode {
+						binary.BigEndian.PutUint64(kbuf[:], key)
+						switch {
+						case mix < cfg.Workload.InsertPct:
+							bm.Insert(tid, kbuf[:], benchVal)
+						case mix < cfg.Workload.InsertPct+cfg.Workload.DeletePct:
+							bm.Delete(tid, kbuf[:])
+						default:
+							dst, _ = bm.Get(tid, kbuf[:], dst[:0])
+						}
+						ops++
+						continue
+					}
 					switch {
 					case mix < cfg.Workload.InsertPct:
 						m.Insert(tid, key, key*31+7)
@@ -453,6 +527,7 @@ sampling:
 		Stalled:        cfg.Stalled,
 		Goroutines:     goroutines,
 		BatchSize:      cfg.BatchSize,
+		ValueSize:      cfg.ValueSize,
 		Workload:       cfg.Workload.Name(),
 		Duration:       elapsed,
 		Ops:            ops,
@@ -475,23 +550,33 @@ type paddedCounter struct {
 var arenaCache struct {
 	mu    sync.Mutex
 	arena *arena.Arena
+	// blobBudget records whether (and how large) the cached arena's
+	// blob heap is: blobs can only be enabled once per arena, and a
+	// blob-enabled arena must never serve a uint64 run (its Free
+	// decodes Key/Val as blob refs).
+	blobBudget int
 }
 
-func takeArena(capacity int) *arena.Arena {
+func takeArena(capacity, blobBudget int) *arena.Arena {
 	arenaCache.mu.Lock()
 	defer arenaCache.mu.Unlock()
-	if a := arenaCache.arena; a != nil && a.Cap() == capacity {
+	if a := arenaCache.arena; a != nil && a.Cap() == capacity && arenaCache.blobBudget == blobBudget {
 		arenaCache.arena = nil
 		a.Reset()
 		return a
 	}
-	return arena.New(capacity)
+	a := arena.New(capacity)
+	if blobBudget > 0 {
+		a.EnableBlobs(blobBudget)
+	}
+	return a
 }
 
-func putArena(a *arena.Arena) {
+func putArena(a *arena.Arena, blobBudget int) {
 	arenaCache.mu.Lock()
 	defer arenaCache.mu.Unlock()
 	arenaCache.arena = a
+	arenaCache.blobBudget = blobBudget
 }
 
 // prefill inserts cfg.Prefill distinct random keys, spreading the work
@@ -515,6 +600,37 @@ func prefill(tr smr.Tracker, m ds.Map, cfg Config) {
 				key := uint64(rng.Int63n(int64(cfg.KeyRange)))
 				tr.Enter(tid)
 				if m.Insert(tid, key, key*31+7) {
+					inserted.Add(1)
+				}
+				tr.Leave(tid)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// prefillBytes is the bytes-run twin of prefill: the same key universe,
+// 8-byte big-endian encoded, all values the shared val blob.
+func prefillBytes(tr smr.Tracker, bm ds.BytesMap, cfg Config, val []byte) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Threads {
+		workers = cfg.Threads
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var inserted atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tid) + 12345))
+			var kbuf [8]byte
+			for inserted.Load() < int64(cfg.Prefill) {
+				binary.BigEndian.PutUint64(kbuf[:], uint64(rng.Int63n(int64(cfg.KeyRange))))
+				tr.Enter(tid)
+				if bm.Insert(tid, kbuf[:], val) {
 					inserted.Add(1)
 				}
 				tr.Leave(tid)

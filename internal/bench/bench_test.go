@@ -513,3 +513,110 @@ func TestConnSweepDefault(t *testing.T) {
 		t.Fatalf("conn sweep %v misses the 4x endpoint %d", xs, top)
 	}
 }
+
+func TestRunBytes(t *testing.T) {
+	// Bytes-payload runs across the modes the payload figures use:
+	// per-op brackets, leased batched brackets, and a scheme without
+	// Trim. Interleave a uint64 run to exercise the arena-cache
+	// transition (a blob-enabled arena must never serve a uint64 run).
+	for _, tc := range []struct {
+		structure string
+		scheme    string
+		valueSize int
+		sessions  bool
+		batch     int
+	}{
+		{"blist", "hyaline", 16, false, 1},
+		{"list", "hyaline", 0, false, 1}, // uint64 between bytes runs
+		{"blist", "epoch", 128, true, 64},
+		{"blist", "hp", 1024, false, 1},
+	} {
+		res, err := Run(Config{
+			Structure: tc.structure,
+			Scheme:    tc.scheme,
+			Threads:   2,
+			Sessions:  tc.sessions,
+			BatchSize: tc.batch,
+			ValueSize: tc.valueSize,
+			Duration:  50 * time.Millisecond,
+			Prefill:   500,
+			KeyRange:  1000,
+		})
+		if err != nil {
+			t.Fatalf("%s/%s valuesize=%d: %v", tc.structure, tc.scheme, tc.valueSize, err)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("%s/%s valuesize=%d: zero ops", tc.structure, tc.scheme, tc.valueSize)
+		}
+		if res.ValueSize != tc.valueSize {
+			t.Fatalf("result ValueSize = %d, want %d", res.ValueSize, tc.valueSize)
+		}
+		if tc.valueSize > 0 && !strings.Contains(res.String(), "bytes(") {
+			t.Fatalf("bytes marker missing from row: %s", res)
+		}
+	}
+}
+
+func TestRunBytesRejects(t *testing.T) {
+	if _, err := Run(Config{Structure: "blist", Scheme: "hyaline", ValueSize: 64,
+		Workload: ScanMix, Duration: time.Millisecond}); err == nil {
+		t.Fatal("bytes run with range scans must error")
+	}
+	if _, err := Run(Config{Structure: "blist", Scheme: "hyaline", ValueSize: 64,
+		Conns: 2, Duration: time.Millisecond}); err == nil {
+		t.Fatal("bytes client/server run must error")
+	}
+	if _, err := Run(Config{Structure: "hashmap", Scheme: "hyaline", ValueSize: 64,
+		Duration: time.Millisecond}); err == nil {
+		t.Fatal("ValueSize on a uint64-only structure must error")
+	}
+}
+
+func TestPayloadFiguresRegistered(t *testing.T) {
+	for _, id := range []string{"23", "24"} {
+		f, err := FigureByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u64, bytes := false, false
+		for _, c := range f.Curves {
+			if c.ValueSize == 0 {
+				u64 = true
+				if c.Structure != "" {
+					t.Fatalf("figure %s curve %s: uint64 curve must inherit the figure structure", id, c.Label)
+				}
+			} else {
+				bytes = true
+				if c.Structure != "blist" {
+					t.Fatalf("figure %s curve %s: bytes curve must run the blist twin", id, c.Label)
+				}
+			}
+		}
+		if !u64 || !bytes {
+			t.Fatalf("figure %s must compare uint64 and bytes curves", id)
+		}
+	}
+}
+
+func TestPayloadFigureRunTiny(t *testing.T) {
+	f, err := FigureByID("23")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Curves = []Curve{
+		{Label: "u64", Scheme: "hyaline"},
+		{Label: "128B", Scheme: "hyaline", Structure: "blist", ValueSize: 128},
+	}
+	tab, err := f.Run(RunOptions{
+		Duration: 30 * time.Millisecond,
+		Xs:       []int{2},
+		Prefill:  500,
+		KeyRange: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series["u64"]) != 1 || len(tab.Series["128B"]) != 1 {
+		t.Fatalf("missing series points: %+v", tab.Series)
+	}
+}

@@ -42,6 +42,13 @@ type Curve struct {
 	// Pipeline is the per-connection in-flight request depth for the
 	// client/server figures (sweep "conns"); 0 elsewhere.
 	Pipeline int
+	// Structure overrides the figure's structure for this curve (empty =
+	// inherit). The payload-comparison figures use it to put the uint64
+	// structure and its bytes twin on the same axes.
+	Structure string
+	// ValueSize switches this curve to the bytes payload path with
+	// values of this size (see Config.ValueSize); 0 = uint64 payloads.
+	ValueSize int
 }
 
 // Figure is a runnable experiment specification.
@@ -231,6 +238,43 @@ func AllFigures() []Figure {
 		Sweep:     "conns",
 		Curves:    serveCurves,
 	})
+	// Figures 23/24 are reproduction extensions: uint64 vs bytes
+	// payloads. The same sorted-list protocol runs with uint64 payloads
+	// ("list") and with []byte keys/values in blob slabs ("blist"), so
+	// the gap between curves is the cost of variable-size payloads —
+	// key encode/compare, blob alloc/copy — not a structure change.
+	// Figure 23 is the per-operation Get-heavy view; figure 24 drives
+	// the same comparison through batched leased brackets (the
+	// measurement analogue of Apply/ApplyBytes).
+	payloadCurves := func(batch int) []Curve {
+		var curves []Curve
+		for _, s := range []string{"hyaline", "epoch"} {
+			curves = append(curves,
+				Curve{Label: s + "-u64", Scheme: s, Sessions: batch > 1, Batch: batch},
+				Curve{Label: s + "-16B", Scheme: s, Structure: "blist", ValueSize: 16, Sessions: batch > 1, Batch: batch},
+				Curve{Label: s + "-128B", Scheme: s, Structure: "blist", ValueSize: 128, Sessions: batch > 1, Batch: batch},
+				Curve{Label: s + "-1KiB", Scheme: s, Structure: "blist", ValueSize: 1024, Sessions: batch > 1, Batch: batch},
+			)
+		}
+		return curves
+	}
+	figs = append(figs, Figure{
+		ID:        "23",
+		Caption:   "x86-64: list Get throughput, uint64 vs bytes payloads (reproduction extension)",
+		Structure: "list",
+		Workload:  ReadMostly,
+		Metric:    "throughput",
+		Sweep:     "threads",
+		Curves:    payloadCurves(1),
+	}, Figure{
+		ID:        "24",
+		Caption:   "x86-64: list batched-apply throughput, uint64 vs bytes payloads (reproduction extension)",
+		Structure: "list",
+		Workload:  WriteHeavy,
+		Metric:    "throughput",
+		Sweep:     "threads",
+		Curves:    payloadCurves(64),
+	})
 	return figs
 }
 
@@ -355,12 +399,16 @@ func (f Figure) Run(opts RunOptions) (Table, error) {
 				Trim:      curve.Trim,
 				Sessions:  curve.Sessions,
 				BatchSize: curve.Batch,
+				ValueSize: curve.ValueSize,
 				Prefill:   opts.Prefill,
 				KeyRange:  opts.KeyRange,
 				Tracker: trackers.Config{
 					Slots:  curve.Slots,
 					Resize: curve.Resize,
 				},
+			}
+			if curve.Structure != "" {
+				cfg.Structure = curve.Structure
 			}
 			switch f.Sweep {
 			case "stalled":

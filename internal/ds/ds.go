@@ -81,6 +81,65 @@ var registry = map[string]entry{
 	},
 }
 
+// BytesMap is the common shape of the []byte-keyed structures. The
+// semantics mirror Map — insert-only Insert, no in-place update — with
+// payload ownership rules: key and val are copied into arena blobs on
+// Insert, and Get copies the value out (appending to dst) while the
+// node is protected, so no returned slice ever aliases reclaimable
+// memory.
+type BytesMap interface {
+	// Insert adds key→val, failing if the key exists.
+	Insert(tid int, key, val []byte) bool
+	// Delete removes key, failing if it is absent.
+	Delete(tid int, key []byte) bool
+	// Get appends the value under key to dst and returns it.
+	Get(tid int, key []byte, dst []byte) ([]byte, bool)
+	// Len counts entries at quiescence.
+	Len() int
+}
+
+// bytesEntry is one registered bytes structure. The build func requires
+// an arena with blobs enabled (see arena.EnableBlobs).
+type bytesEntry struct {
+	build    func(a *arena.Arena, tr smr.Tracker, maxThreads int) BytesMap
+	excluded map[string]bool
+}
+
+// bytesRegistry holds the []byte-payload structures, separate from the
+// uint64 registry because the two families cannot share an arena (a
+// blob-enabled arena interprets every freed node's Key/Val as BlobRefs).
+var bytesRegistry = map[string]bytesEntry{
+	"blist": {
+		build: func(a *arena.Arena, tr smr.Tracker, _ int) BytesMap { return list.NewBytes(a, tr) },
+	},
+}
+
+// BytesNames returns the registered bytes structure names, sorted.
+func BytesNames() []string {
+	names := make([]string, 0, len(bytesRegistry))
+	for name := range bytesRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SupportsBytes reports whether the named bytes structure runs under the
+// named scheme (unknown structures report true, as in Supports).
+func SupportsBytes(structure, scheme string) bool {
+	return !bytesRegistry[structure].excluded[scheme]
+}
+
+// NewBytes constructs the named bytes structure over a and tr. The arena
+// must have blobs enabled.
+func NewBytes(structure string, a *arena.Arena, tr smr.Tracker, maxThreads int) (BytesMap, error) {
+	e, ok := bytesRegistry[structure]
+	if !ok {
+		return nil, fmt.Errorf("ds: unknown bytes structure %q (known: %v)", structure, BytesNames())
+	}
+	return e.build(a, tr, maxThreads), nil
+}
+
 // Names returns the registered structure names, sorted.
 func Names() []string {
 	names := make([]string, 0, len(registry))

@@ -129,6 +129,7 @@ func RunAll(t *testing.T, f Factory, opts Options) {
 			t.Run("ConcurrentChurn", func(t *testing.T) { ConcurrentChurn(t, f, scheme, opts) })
 			t.Run("FlushTrim", func(t *testing.T) { FlushTrim(t, f, scheme, opts) })
 			t.Run("RangeScan", func(t *testing.T) { RangeScan(t, f, scheme, opts) })
+			t.Run("ScanPinning", func(t *testing.T) { ScanPinning(t, f, scheme, opts) })
 			t.Run("SessionChurn", func(t *testing.T) { SessionChurn(t, f, scheme, opts) })
 			t.Run("BatchChurn", func(t *testing.T) { BatchChurn(t, f, scheme, opts) })
 		})

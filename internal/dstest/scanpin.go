@@ -1,0 +1,163 @@
+// Scan-bracket pinning: a long range scan must not stall reclamation
+// for its whole duration. The phase runs single-goroutine lockstep —
+// the churn happens from inside the scan callback under a second tid —
+// so the churn volume seen by each scan bracket is fixed by
+// construction, not by scheduling, and the unreclaimed bound is
+// deterministic (free-running churners make the gauge spike whenever a
+// goroutine is preempted mid-bracket, drowning the signal).
+package dstest
+
+import (
+	"testing"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/smr"
+)
+
+// bracketPinning marks the schemes whose protection granularity is the
+// whole Enter/Leave bracket: every node retired while a reader is
+// inside its bracket stays unreclaimed until the reader leaves (or
+// trims). Per-pointer schemes (hp, he) protect only the nodes a scan
+// currently references, so a long bracket pins O(1) nodes.
+var bracketPinning = map[string]bool{
+	"epoch":      true,
+	"ibr":        true,
+	"hyaline":    true,
+	"hyaline-1":  true,
+	"hyaline-s":  true,
+	"hyaline-1s": true,
+}
+
+// ScanPinning asserts that a chunked scan — re-arming its bracket every
+// scanChunk visited keys, the discipline KV.Range and the batch API use
+// — keeps the unreclaimed count bounded by roughly one chunk's worth of
+// churn, while a single-bracket scan over the same span pins the whole
+// churn volume on bracket-granularity schemes.
+func ScanPinning(t *testing.T, f Factory, scheme string, opts Options) {
+	if scheme == "leaky" {
+		t.Skip("leaky never reclaims; boundedness is vacuous")
+	}
+	a := arena.New(opts.ArenaCap)
+	tr := newTracker(t, scheme, a, 2)
+	m := f(a, tr)
+	r, ok := m.(Ranger)
+	if !ok {
+		t.Skipf("structure does not implement Range")
+	}
+
+	const (
+		scanTid  = 0
+		churnTid = 1
+		// scanChunk mirrors the KV.Range / batchTrim chunk size.
+		scanChunk = 64
+		// churnPerVisit insert+delete cycles run inside every scan
+		// callback, so one chunk brackets scanChunk*churnPerVisit
+		// retires and a full unchunked scan brackets staticKeys times
+		// that.
+		churnPerVisit = 8
+		// churnSpan keys cycle at the bottom of the key space, below
+		// the scanned span.
+		churnSpan = 256
+		// staticBase puts the scanned span far above the churn stripe.
+		staticBase = uint64(1) << 32
+	)
+	staticKeys := uint64(2048)
+	if testing.Short() {
+		staticKeys = 1024
+	}
+
+	for k := staticBase; k < staticBase+staticKeys; k++ {
+		enter(tr, scanTid)
+		if !m.Insert(scanTid, k, checksum(k)) {
+			t.Fatalf("static Insert(%d) failed", k)
+		}
+		leave(tr, scanTid)
+	}
+
+	// rearm mirrors Session.Trim: the paper's §3.3 trim when the scheme
+	// has one, leave-then-enter otherwise.
+	rearm := func() {
+		if tm, ok := tr.(smr.Trimmer); ok {
+			tm.Trim(scanTid)
+			return
+		}
+		leave(tr, scanTid)
+		enter(tr, scanTid)
+	}
+	quiesce := func() {
+		if fl, ok := tr.(smr.Flusher); ok {
+			for pass := 0; pass < 3; pass++ {
+				fl.Flush(scanTid)
+				fl.Flush(churnTid)
+			}
+		}
+	}
+
+	var churnCursor uint64
+	churn := func() {
+		for j := 0; j < churnPerVisit; j++ {
+			key := churnCursor % churnSpan
+			churnCursor++
+			enter(tr, churnTid)
+			m.Insert(churnTid, key, checksum(key))
+			leave(tr, churnTid)
+			enter(tr, churnTid)
+			m.Delete(churnTid, key)
+			leave(tr, churnTid)
+		}
+	}
+
+	// scan runs one pass over the static span, driving churn from
+	// inside the callback and sampling the unreclaimed gauge mid-
+	// bracket. rearmEvery == 0 keeps a single bracket for the whole
+	// pass — the shape this phase exists to indict.
+	hi := staticBase + staticKeys - 1
+	scan := func(rearmEvery int) int64 {
+		var max int64
+		cursor := staticBase
+		enter(tr, scanTid)
+		defer leave(tr, scanTid)
+		for {
+			visited := 0
+			last := cursor
+			r.Range(scanTid, cursor, hi, func(k, v uint64) bool {
+				last = k
+				if v != checksum(k) {
+					t.Errorf("scan saw (%d, %d), want checksum %d", k, v, checksum(k))
+					return false
+				}
+				churn()
+				if un := tr.Stats().Unreclaimed(); un > max {
+					max = un
+				}
+				visited++
+				return rearmEvery == 0 || visited < rearmEvery
+			})
+			if t.Failed() || rearmEvery == 0 || visited < rearmEvery || last == hi {
+				return max
+			}
+			cursor = last + 1
+			rearm()
+		}
+	}
+
+	totalChurn := int64(staticKeys) * churnPerVisit
+	// One chunk's worth of churn plus scheme batching/threshold slack.
+	bound := int64(scanChunk*churnPerVisit) + 2048 + opts.LeakSlack
+
+	pinned := scan(0)
+	quiesce()
+	chunked := scan(scanChunk)
+	quiesce()
+
+	if chunked > bound {
+		t.Fatalf("chunked scan: unreclaimed reached %d mid-scan (bound %d, total churn %d): re-arming every %d keys is not unpinning reclamation",
+			chunked, bound, totalChurn, scanChunk)
+	}
+	// The phase only means something if the single bracket actually
+	// pinned: on bracket-granularity schemes the unchunked pass must
+	// have accumulated well past the chunked bound.
+	if bracketPinning[scheme] && pinned < 2*bound {
+		t.Fatalf("unchunked scan pinned only %d (chunked bound %d): phase lost its discriminating power", pinned, bound)
+	}
+}

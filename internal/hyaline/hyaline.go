@@ -656,6 +656,11 @@ func (t *Tracker) Flush(tid int) {
 		t.counters.Retire(tid)
 		// Inline the batch-append of Retire for the dummy node.
 		n := t.arena.Node(idx)
+		// Dummies never carry payloads, but a recycled node still holds
+		// poison in Key/Val; clear both so a blob-enabled arena's Free
+		// doesn't decode the poison as a BlobRef.
+		n.Key.Store(0)
+		n.Val.Store(0)
 		birth := uint64(0)
 		if t.robust() {
 			birth = n.Refs.Load()

@@ -150,7 +150,6 @@ func (t *Tracker) Retire(tid int, idx ptr.Index) {
 	}
 	if ts.limboCount >= ts.nextScan {
 		t.scan(tid)
-		ts.nextScan = ts.limboCount + t.cfg.ScanThreshold
 	}
 }
 
@@ -176,6 +175,13 @@ func (t *Tracker) scan(tid int) {
 	}
 	ts.limboHead = keepHead
 	ts.limboCount = keepCount
+	// Re-arm the adaptive trigger from the surviving count here, not at
+	// the Retire call site: a scan reached through Flush must also
+	// lower the trigger, or a limbo list that once ballooned behind a
+	// stalled reader stops scanning after the flush drains it — no
+	// retire-triggered scan would fire again until the list re-grew to
+	// the old high-water mark.
+	ts.nextScan = keepCount + t.cfg.ScanThreshold
 	if freed > 0 {
 		t.counters.Free(tid, freed)
 	}

@@ -1,0 +1,60 @@
+package list
+
+import (
+	"bytes"
+	"testing"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/dstest"
+	"hyaline/internal/smr"
+	"hyaline/internal/trackers"
+)
+
+func bytesFactory(a *arena.Arena, tr smr.Tracker) dstest.BytesMap {
+	return NewBytes(a, tr)
+}
+
+func TestBytesAllSchemes(t *testing.T) {
+	dstest.RunAllBytes(t, bytesFactory, dstest.Options{
+		// Lists are slow; keep the churn volume moderate.
+		OpsPerThread: 4000,
+		KeySpace:     64,
+	})
+}
+
+func TestBytesSortedOrder(t *testing.T) {
+	a := arena.New(1 << 12)
+	a.EnableBlobs(1 << 16)
+	tr := trackers.MustNew("hyaline", a, trackers.Config{MaxThreads: 1, Slots: 2, MinBatch: 8})
+	l := NewBytes(a, tr)
+	// Insertion order deliberately scrambled; Keys must come back in
+	// lexicographic byte order.
+	for _, k := range []string{"mango", "apple", "zebra", "", "kiwi", "apricot"} {
+		tr.Enter(0)
+		if !l.Insert(0, []byte(k), []byte("v:"+k)) {
+			t.Fatalf("Insert(%q) failed", k)
+		}
+		tr.Leave(0)
+	}
+	keys := l.Keys()
+	want := []string{"", "apple", "apricot", "kiwi", "mango", "zebra"}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys returned %d entries, want %d", len(keys), len(want))
+	}
+	for i, k := range keys {
+		if !bytes.Equal(k, []byte(want[i])) {
+			t.Fatalf("Keys[%d] = %q, want %q", i, k, want[i])
+		}
+	}
+}
+
+func TestNewBytesRequiresBlobs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBytes on a blob-less arena did not panic")
+		}
+	}()
+	a := arena.New(1 << 8)
+	tr := trackers.MustNew("leaky", a, trackers.Config{MaxThreads: 1})
+	NewBytes(a, tr)
+}

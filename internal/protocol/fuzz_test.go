@@ -24,6 +24,9 @@ func FuzzProtocolParse(f *testing.F) {
 	w.Get(7)
 	w.Set(8, 9)
 	w.Del(10)
+	w.GetB([]byte("bytes-key"))
+	w.SetB([]byte("bytes-key"), []byte("a value of some length"))
+	w.DelB([]byte(""))
 	w.Len()
 	w.Stats()
 	w.Flush()
@@ -33,6 +36,7 @@ func FuzzProtocolParse(f *testing.F) {
 	replies = AppendOK(replies)
 	replies = AppendNil(replies)
 	replies = AppendValue(replies, 1234)
+	replies = AppendValueB(replies, []byte("reply bytes"))
 	replies = AppendErr(replies, "nope")
 	replies = AppendStatsReply(replies, Stats{Structure: "hashmap", Scheme: "hyaline", Len: 5})
 	f.Add(replies)
@@ -44,6 +48,14 @@ func FuzzProtocolParse(f *testing.F) {
 	f.Add(AppendFrame(nil, byte(OpGet), make([]byte, 100))) // oversized GET
 	f.Add([]byte{byte(OpPing), 0xff, 0xff})                 // max length, no data
 	f.Add(append([]byte{byte(OpSet), 16, 0}, make([]byte, 16)...))
+	// Malformed bytes-op shapes: a key length pointing past the payload,
+	// a GETB with trailing bytes after the key, a payload too short for
+	// its own length prefix, and a SETB whose value is exactly empty.
+	f.Add([]byte{byte(OpGetB), 4, 0, 0xff, 0xff, 'a', 'b'})
+	f.Add([]byte{byte(OpGetB), 5, 0, 2, 0, 'a', 'b', 'x'})
+	f.Add([]byte{byte(OpSetB), 1, 0, 9})
+	f.Add(AppendSetB(nil, []byte("k"), nil))
+	f.Add(AppendGetB(nil, make([]byte, 300))) // key length crossing one byte
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Pass 1: whole-stream reader.
@@ -65,10 +77,35 @@ func FuzzProtocolParse(f *testing.F) {
 				t.Fatalf("payload %d exceeds MaxPayload", len(fr.Payload))
 			}
 			// Every decode helper must tolerate every payload.
-			ValidateRequest(Op(fr.Code), len(fr.Payload))
+			ValidateRequest(Op(fr.Code), fr.Payload)
 			U64(fr.Payload)
 			KeyVal(fr.Payload)
+			KeyB(fr.Payload)
+			KeyValB(fr.Payload)
 			ParseStats(fr.Payload)
+			// The bytes codecs must agree with the validator: a payload
+			// ValidateRequest accepts for a bytes op must decode, and
+			// an encode of the decode must reproduce the frame.
+			if ValidateRequest(OpSetB, fr.Payload) == nil {
+				k, v, err := KeyValB(fr.Payload)
+				if err != nil {
+					t.Fatalf("validated SETB payload failed to decode: %v", err)
+				}
+				re := AppendSetB(nil, k, v)
+				if !bytes.Equal(re[HeaderSize:], fr.Payload) {
+					t.Fatalf("SETB re-encode mismatch: %x vs %x", re[HeaderSize:], fr.Payload)
+				}
+			}
+			if ValidateRequest(OpGetB, fr.Payload) == nil {
+				k, err := KeyB(fr.Payload)
+				if err != nil {
+					t.Fatalf("validated GETB payload failed to decode: %v", err)
+				}
+				re := AppendGetB(nil, k)
+				if !bytes.Equal(re[HeaderSize:], fr.Payload) {
+					t.Fatalf("GETB re-encode mismatch: %x vs %x", re[HeaderSize:], fr.Payload)
+				}
+			}
 			whole = append(whole, decoded{fr.Code, string(fr.Payload)})
 		}
 		if len(rd.buf) > MaxFrame {

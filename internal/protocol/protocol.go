@@ -62,6 +62,23 @@ const (
 	OpLen Op = 0x05
 	// OpStats asks for the server's Stats snapshot. Empty payload.
 	OpStats Op = 0x06
+
+	// The bytes ops carry variable-length []byte keys and values for a
+	// KVBytes-backed server. Their payloads start with a little-endian
+	// uint16 key length, then the key; SETB's value is the remainder of
+	// the payload (the frame header already bounds it, so the value
+	// needs no second length prefix). An empty key is legal — the
+	// length prefix is what makes it expressible.
+
+	// OpGetB looks a bytes key up. Payload: klen u16, key.
+	// Reply: StatusOK with the value as payload, or StatusNil.
+	OpGetB Op = 0x07
+	// OpSetB inserts key→val, failing if the key exists. Payload:
+	// klen u16, key, val (rest of payload).
+	OpSetB Op = 0x08
+	// OpDelB removes a bytes key, failing if absent. Payload: klen u16,
+	// key.
+	OpDelB Op = 0x09
 )
 
 // String names the op for diagnostics.
@@ -79,6 +96,12 @@ func (o Op) String() string {
 		return "LEN"
 	case OpStats:
 		return "STATS"
+	case OpGetB:
+		return "GETB"
+	case OpSetB:
+		return "SETB"
+	case OpDelB:
+		return "DELB"
 	}
 	return fmt.Sprintf("Op(0x%02x)", byte(o))
 }
@@ -112,11 +135,15 @@ func (s Status) String() string {
 	return fmt.Sprintf("Status(0x%02x)", byte(s))
 }
 
-// ValidateRequest checks that a request frame's payload length matches
-// its op. The Reader is content-agnostic; servers call this on every
-// decoded frame, so a GET with a 9000-byte payload (an oversized frame
-// with intact framing) errors instead of being sliced blindly.
-func ValidateRequest(op Op, payloadLen int) error {
+// ValidateRequest checks that a request frame's payload is structurally
+// valid for its op: exact lengths for the fixed-size ops, a consistent
+// key-length prefix for the bytes ops. The Reader is content-agnostic;
+// servers call this on every decoded frame, so a GET with a 9000-byte
+// payload (an oversized frame with intact framing) errors instead of
+// being sliced blindly. It takes the payload itself rather than its
+// length because the bytes ops cannot be validated from the length
+// alone.
+func ValidateRequest(op Op, payload []byte) error {
 	want := -1
 	switch op {
 	case OpGet, OpDel:
@@ -127,11 +154,17 @@ func ValidateRequest(op Op, payloadLen int) error {
 		want = 0
 	case OpPing:
 		return nil // any payload; it is echoed back
+	case OpGetB, OpDelB:
+		_, err := KeyB(payload)
+		return err
+	case OpSetB:
+		_, _, err := KeyValB(payload)
+		return err
 	default:
 		return fmt.Errorf("protocol: unknown op 0x%02x", byte(op))
 	}
-	if payloadLen != want {
-		return fmt.Errorf("protocol: %s frame with %d-byte payload, want %d", op, payloadLen, want)
+	if len(payload) != want {
+		return fmt.Errorf("protocol: %s frame with %d-byte payload, want %d", op, len(payload), want)
 	}
 	return nil
 }
@@ -307,6 +340,30 @@ func AppendSet(b []byte, key, val uint64) []byte {
 // AppendDel appends a DEL request.
 func AppendDel(b []byte, key uint64) []byte { return appendU64Frame(b, byte(OpDel), key) }
 
+func appendKeyB(b []byte, op Op, key []byte, extra int) []byte {
+	n := 2 + len(key) + extra
+	if n > MaxPayload {
+		panic(fmt.Sprintf("protocol: %s payload of %d bytes exceeds MaxPayload (%d)", op, n, MaxPayload))
+	}
+	b = appendHeader(b, byte(op), n)
+	b = append(b, byte(len(key)), byte(len(key)>>8))
+	return append(b, key...)
+}
+
+// AppendGetB appends a GETB request. Panics when the key exceeds what a
+// frame can carry (MaxPayload minus the 2-byte length prefix).
+func AppendGetB(b, key []byte) []byte { return appendKeyB(b, OpGetB, key, 0) }
+
+// AppendSetB appends a SETB request. Panics when key and val together
+// exceed a frame's payload.
+func AppendSetB(b, key, val []byte) []byte {
+	b = appendKeyB(b, OpSetB, key, len(val))
+	return append(b, val...)
+}
+
+// AppendDelB appends a DELB request.
+func AppendDelB(b, key []byte) []byte { return appendKeyB(b, OpDelB, key, 0) }
+
 // AppendLen appends a LEN request.
 func AppendLen(b []byte) []byte { return appendHeader(b, byte(OpLen), 0) }
 
@@ -322,6 +379,10 @@ func AppendNil(b []byte) []byte { return appendHeader(b, byte(StatusNil), 0) }
 // AppendValue appends a StatusOK reply carrying one uint64 (GET hit,
 // LEN).
 func AppendValue(b []byte, v uint64) []byte { return appendU64Frame(b, byte(StatusOK), v) }
+
+// AppendValueB appends a StatusOK reply carrying a byte value (GETB
+// hit). The value is the whole payload; no length prefix is needed.
+func AppendValueB(b, val []byte) []byte { return AppendFrame(b, byte(StatusOK), val) }
 
 // AppendPingReply appends the StatusOK echo of a PING.
 func AppendPingReply(b, payload []byte) []byte { return AppendFrame(b, byte(StatusOK), payload) }
@@ -353,6 +414,33 @@ func KeyVal(p []byte) (key, val uint64, err error) {
 		return 0, 0, fmt.Errorf("protocol: %d-byte payload where a 16-byte key/val pair is expected", len(p))
 	}
 	return binary.LittleEndian.Uint64(p), binary.LittleEndian.Uint64(p[8:]), nil
+}
+
+// KeyB decodes a GETB/DELB payload: a u16 key length, the key, nothing
+// after. The returned key aliases p (zero-copy) — for a payload handed
+// out by a Reader, it obeys the Reader's buffer lifetime.
+func KeyB(p []byte) ([]byte, error) {
+	if len(p) < 2 {
+		return nil, fmt.Errorf("protocol: %d-byte payload where a key-length prefix is expected", len(p))
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	if len(p) != 2+n {
+		return nil, fmt.Errorf("protocol: bytes-key payload is %d bytes, key length says %d", len(p), 2+n)
+	}
+	return p[2 : 2+n : 2+n], nil
+}
+
+// KeyValB decodes a SETB payload: a u16 key length, the key, then the
+// value as the remainder. Both returned slices alias p (zero-copy).
+func KeyValB(p []byte) (key, val []byte, err error) {
+	if len(p) < 2 {
+		return nil, nil, fmt.Errorf("protocol: %d-byte payload where a key-length prefix is expected", len(p))
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	if len(p) < 2+n {
+		return nil, nil, fmt.Errorf("protocol: bytes key/val payload is %d bytes, key length says at least %d", len(p), 2+n)
+	}
+	return p[2 : 2+n : 2+n], p[2+n:], nil
 }
 
 // --- STATS payload ---
@@ -465,6 +553,15 @@ func (w *Writer) Set(key, val uint64) { w.buf = AppendSet(w.buf, key, val) }
 
 // Del queues a DEL request.
 func (w *Writer) Del(key uint64) { w.buf = AppendDel(w.buf, key) }
+
+// GetB queues a GETB request.
+func (w *Writer) GetB(key []byte) { w.buf = AppendGetB(w.buf, key) }
+
+// SetB queues a SETB request.
+func (w *Writer) SetB(key, val []byte) { w.buf = AppendSetB(w.buf, key, val) }
+
+// DelB queues a DELB request.
+func (w *Writer) DelB(key []byte) { w.buf = AppendDelB(w.buf, key) }
 
 // Len queues a LEN request.
 func (w *Writer) Len() { w.buf = AppendLen(w.buf) }

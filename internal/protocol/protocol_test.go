@@ -41,7 +41,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		if len(f.Payload) != wantPayload {
 			t.Fatalf("%s payload %d bytes, want %d", op, len(f.Payload), wantPayload)
 		}
-		if err := ValidateRequest(Op(f.Code), len(f.Payload)); err != nil {
+		if err := ValidateRequest(Op(f.Code), f.Payload); err != nil {
 			t.Fatalf("ValidateRequest(%s): %v", op, err)
 		}
 		return f
@@ -288,34 +288,101 @@ func TestReaderErrors(t *testing.T) {
 	}
 }
 
-// TestValidateRequest covers the per-op size table.
+// TestValidateRequest covers the per-op size table and the bytes ops'
+// key-length consistency checks.
 func TestValidateRequest(t *testing.T) {
 	cases := []struct {
-		op  Op
-		n   int
-		ok  bool
-		tag string
+		op      Op
+		payload []byte
+		ok      bool
+		tag     string
 	}{
-		{OpGet, 8, true, "get"},
-		{OpGet, 9000, false, "oversized get"},
-		{OpGet, 0, false, "empty get"},
-		{OpSet, 16, true, "set"},
-		{OpSet, 8, false, "short set"},
-		{OpDel, 8, true, "del"},
-		{OpLen, 0, true, "len"},
-		{OpLen, 1, false, "len with payload"},
-		{OpStats, 0, true, "stats"},
-		{OpPing, 0, true, "empty ping"},
-		{OpPing, MaxPayload, true, "max ping"},
-		{Op(0x7f), 0, false, "unknown op"},
-		{Op(0), 0, false, "zero op"},
-		{Op(byte(StatusOK)), 0, false, "status code as op"},
+		{OpGet, make([]byte, 8), true, "get"},
+		{OpGet, make([]byte, 9000), false, "oversized get"},
+		{OpGet, nil, false, "empty get"},
+		{OpSet, make([]byte, 16), true, "set"},
+		{OpSet, make([]byte, 8), false, "short set"},
+		{OpDel, make([]byte, 8), true, "del"},
+		{OpLen, nil, true, "len"},
+		{OpLen, make([]byte, 1), false, "len with payload"},
+		{OpStats, nil, true, "stats"},
+		{OpPing, nil, true, "empty ping"},
+		{OpPing, make([]byte, MaxPayload), true, "max ping"},
+		{Op(0x7f), nil, false, "unknown op"},
+		{Op(0), nil, false, "zero op"},
+		{Op(byte(StatusOK)), nil, false, "status code as op"},
+
+		{OpGetB, AppendGetB(nil, []byte("k"))[HeaderSize:], true, "getb"},
+		{OpGetB, AppendGetB(nil, nil)[HeaderSize:], true, "getb empty key"},
+		{OpGetB, nil, false, "getb no prefix"},
+		{OpGetB, []byte{1}, false, "getb short prefix"},
+		{OpGetB, []byte{5, 0, 'a'}, false, "getb key length past payload"},
+		{OpGetB, []byte{1, 0, 'a', 'x'}, false, "getb trailing bytes"},
+		{OpDelB, AppendDelB(nil, []byte("key"))[HeaderSize:], true, "delb"},
+		{OpSetB, AppendSetB(nil, []byte("k"), []byte("v"))[HeaderSize:], true, "setb"},
+		{OpSetB, AppendSetB(nil, []byte("k"), nil)[HeaderSize:], true, "setb empty val"},
+		{OpSetB, AppendSetB(nil, nil, nil)[HeaderSize:], true, "setb empty key and val"},
+		{OpSetB, []byte{9, 0, 'a'}, false, "setb key length past payload"},
+		{OpSetB, []byte{2}, false, "setb short prefix"},
 	}
 	for _, c := range cases {
-		if err := ValidateRequest(c.op, c.n); (err == nil) != c.ok {
-			t.Errorf("%s: ValidateRequest(%s, %d) = %v, want ok=%v", c.tag, c.op, c.n, err, c.ok)
+		if err := ValidateRequest(c.op, c.payload); (err == nil) != c.ok {
+			t.Errorf("%s: ValidateRequest(%s, %d bytes) = %v, want ok=%v", c.tag, c.op, len(c.payload), err, c.ok)
 		}
 	}
+}
+
+// TestBytesCodecRoundTrip: the GETB/SETB/DELB encoders and zero-copy
+// decoders agree, including boundary sizes.
+func TestBytesCodecRoundTrip(t *testing.T) {
+	var b []byte
+	key := bytes.Repeat([]byte("k"), 300) // key length needs both prefix bytes
+	val := bytes.Repeat([]byte("v"), 1000)
+	b = AppendGetB(b, key)
+	b = AppendSetB(b, key, val)
+	b = AppendDelB(b, nil)
+	b = AppendSetB(b, nil, val)
+	rd := NewReader(bytes.NewReader(b))
+
+	f, err := rd.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, err := KeyB(f.Payload); err != nil || !bytes.Equal(k, key) {
+		t.Fatalf("GETB decode: %v", err)
+	}
+	f, err = rd.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, v, err := KeyValB(f.Payload); err != nil || !bytes.Equal(k, key) || !bytes.Equal(v, val) {
+		t.Fatalf("SETB decode: %v", err)
+	}
+	f, err = rd.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, err := KeyB(f.Payload); err != nil || len(k) != 0 {
+		t.Fatalf("DELB empty-key decode: %q, %v", k, err)
+	}
+	f, err = rd.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, v, err := KeyValB(f.Payload); err != nil || len(k) != 0 || !bytes.Equal(v, val) {
+		t.Fatalf("SETB empty-key decode: %q, %v", k, err)
+	}
+
+	// The largest legal SETB fills the frame exactly; one byte more
+	// panics at encode time.
+	maxVal := make([]byte, MaxPayload-2-len(key))
+	AppendSetB(nil, key, maxVal)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized SETB did not panic")
+		}
+	}()
+	AppendSetB(nil, key, append(maxVal, 0))
 }
 
 // TestReaderBufferBounded: the decode buffer never grows past MaxFrame,

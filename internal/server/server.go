@@ -49,9 +49,14 @@ type Options struct {
 	Logf func(format string, args ...any)
 }
 
-// Server serves one hyaline.KV over TCP.
+// Server serves one hyaline.KV — or one hyaline.KVBytes — over TCP.
+// Exactly one of kv/kvb is non-nil: a server speaks either the uint64
+// data ops (GET/SET/DEL) or the bytes ops (GETB/SETB/DELB), plus the
+// meta commands in both modes. A data op of the other family is a
+// protocol error, like any other malformed request.
 type Server struct {
 	kv          *hyaline.KV
+	kvb         *hyaline.KVBytes
 	maxPipeline int
 	logf        func(string, ...any)
 
@@ -69,6 +74,21 @@ type Server struct {
 // New builds a server over kv. The KV stays owned by the caller: it is
 // shared with any in-process users and is not closed by Shutdown.
 func New(kv *hyaline.KV, opts Options) *Server {
+	s := newServer(opts)
+	s.kv = kv
+	return s
+}
+
+// NewBytes builds a server over a bytes KV: it serves GETB/SETB/DELB
+// instead of the uint64 data ops, with the same pipelining, batching
+// and drain behaviour.
+func NewBytes(kvb *hyaline.KVBytes, opts Options) *Server {
+	s := newServer(opts)
+	s.kvb = kvb
+	return s
+}
+
+func newServer(opts Options) *Server {
 	if opts.MaxPipeline <= 0 {
 		opts.MaxPipeline = DefaultMaxPipeline
 	}
@@ -77,11 +97,26 @@ func New(kv *hyaline.KV, opts Options) *Server {
 		logf = func(string, ...any) {}
 	}
 	return &Server{
-		kv:          kv,
 		maxPipeline: opts.MaxPipeline,
 		logf:        logf,
 		conns:       map[net.Conn]struct{}{},
 	}
+}
+
+// kvLen returns the backing map's entry count in either mode.
+func (s *Server) kvLen() int {
+	if s.kvb != nil {
+		return s.kvb.Len()
+	}
+	return s.kv.Len()
+}
+
+// snapshot returns the backing KV's summary in either mode.
+func (s *Server) snapshot() hyaline.Snapshot {
+	if s.kvb != nil {
+		return s.kvb.Snapshot()
+	}
+	return s.kv.Snapshot()
 }
 
 // Serve accepts connections on ln until Shutdown (returning
@@ -200,7 +235,7 @@ func (s *Server) untrack(c net.Conn) {
 // appendStats encodes the STATS reply: the KV snapshot plus server
 // gauges.
 func (s *Server) appendStats(b []byte) []byte {
-	snap := s.kv.Snapshot()
+	snap := s.snapshot()
 	accepted, active, served, _ := s.Counters()
 	return protocol.AppendStatsReply(b, protocol.Stats{
 		Structure:  snap.Structure,
@@ -239,8 +274,18 @@ type conn struct {
 
 	ops []hyaline.Op     // pending data commands of the current run
 	res []hyaline.Result // reusable Apply result buffer
-	bp  *[]byte          // current reply buffer (from bufPool)
-	buf []byte           // alias of *bp being appended to
+
+	// The bytes-mode run. bops entries alias the reader's buffer — safe
+	// because only a blocking ReadFrame compacts it, and every run is
+	// flushed before the loop returns to ReadFrame — so a pipelined
+	// window of SETBs is applied without copying a single payload byte
+	// on the request path.
+	bops []hyaline.BytesOp
+	bres []hyaline.BytesResult // reusable ApplyBytesInto result buffer
+	vbuf []byte                // reusable value buffer for GETB hits
+
+	bp  *[]byte // current reply buffer (from bufPool)
+	buf []byte  // alias of *bp being appended to
 
 	fatal bool // protocol error: an ERR reply is queued, close after flushing
 }
@@ -252,16 +297,22 @@ func newConn(s *Server, c net.Conn) *conn {
 		tc.SetNoDelay(true)
 	}
 	bp := bufPool.Get().(*[]byte)
-	return &conn{
+	cn := &conn{
 		srv: s,
 		c:   c,
 		rd:  protocol.NewReader(c),
 		out: make(chan *[]byte, outQueue),
-		ops: make([]hyaline.Op, 0, s.maxPipeline),
-		res: make([]hyaline.Result, 0, s.maxPipeline),
 		bp:  bp,
 		buf: (*bp)[:0],
 	}
+	if s.kvb != nil {
+		cn.bops = make([]hyaline.BytesOp, 0, s.maxPipeline)
+		cn.bres = make([]hyaline.BytesResult, 0, s.maxPipeline)
+	} else {
+		cn.ops = make([]hyaline.Op, 0, s.maxPipeline)
+		cn.res = make([]hyaline.Result, 0, s.maxPipeline)
+	}
+	return cn
 }
 
 // run is the reader half: it decodes one pipeline window at a time,
@@ -332,7 +383,7 @@ func (cn *conn) writeLoop(done chan<- struct{}) {
 // payload is still valid.
 func (cn *conn) frame(f protocol.Frame) {
 	op := protocol.Op(f.Code)
-	if err := protocol.ValidateRequest(op, len(f.Payload)); err != nil {
+	if err := protocol.ValidateRequest(op, f.Payload); err != nil {
 		cn.protoErr(err)
 		return
 	}
@@ -346,13 +397,22 @@ func (cn *conn) frame(f protocol.Frame) {
 	case protocol.OpDel:
 		key, _ := protocol.U64(f.Payload)
 		cn.push(hyaline.Op{Kind: hyaline.OpDelete, Key: key})
+	case protocol.OpGetB:
+		key, _ := protocol.KeyB(f.Payload)
+		cn.pushBytes(hyaline.BytesOp{Kind: hyaline.OpGet, Key: key})
+	case protocol.OpSetB:
+		key, val, _ := protocol.KeyValB(f.Payload)
+		cn.pushBytes(hyaline.BytesOp{Kind: hyaline.OpInsert, Key: key, Val: val})
+	case protocol.OpDelB:
+		key, _ := protocol.KeyB(f.Payload)
+		cn.pushBytes(hyaline.BytesOp{Kind: hyaline.OpDelete, Key: key})
 	case protocol.OpPing:
 		cn.flushOps()
 		cn.buf = protocol.AppendPingReply(cn.buf, f.Payload)
 		cn.srv.served.Add(1)
 	case protocol.OpLen:
 		cn.flushOps()
-		cn.buf = protocol.AppendValue(cn.buf, uint64(cn.srv.kv.Len()))
+		cn.buf = protocol.AppendValue(cn.buf, uint64(cn.srv.kvLen()))
 		cn.srv.served.Add(1)
 	case protocol.OpStats:
 		cn.flushOps()
@@ -362,33 +422,70 @@ func (cn *conn) frame(f protocol.Frame) {
 }
 
 func (cn *conn) push(op hyaline.Op) {
+	if cn.srv.kv == nil {
+		cn.protoErr(errWrongFamily(op.Kind, "uint64", "bytes"))
+		return
+	}
 	cn.ops = append(cn.ops, op)
 	if len(cn.ops) >= cn.srv.maxPipeline {
 		cn.flushOps()
 	}
 }
 
-// flushOps applies the pending run as one batch — one session lease, one
-// Enter/Leave bracket — and encodes its replies in request order.
-func (cn *conn) flushOps() {
-	if len(cn.ops) == 0 {
+func (cn *conn) pushBytes(op hyaline.BytesOp) {
+	if cn.srv.kvb == nil {
+		cn.protoErr(errWrongFamily(op.Kind, "bytes", "uint64"))
 		return
 	}
-	cn.res = cn.srv.kv.ApplyInto(cn.res[:0], cn.ops)
-	cn.srv.batches.Add(1)
-	cn.srv.served.Add(int64(len(cn.ops)))
-	for i, op := range cn.ops {
-		r := cn.res[i]
-		switch {
-		case op.Kind == hyaline.OpGet && r.OK:
-			cn.buf = protocol.AppendValue(cn.buf, r.Val)
-		case r.OK:
-			cn.buf = protocol.AppendOK(cn.buf)
-		default:
-			cn.buf = protocol.AppendNil(cn.buf)
-		}
+	cn.bops = append(cn.bops, op)
+	if len(cn.bops) >= cn.srv.maxPipeline {
+		cn.flushOps()
 	}
-	cn.ops = cn.ops[:0]
+}
+
+func errWrongFamily(kind hyaline.OpKind, got, serves string) error {
+	return errors.New("server: " + got + " " + kind.String() + " on a server backed by a " + serves + " KV")
+}
+
+// flushOps applies the pending run as one batch — one session lease, one
+// Enter/Leave bracket — and encodes its replies in request order. A
+// connection only ever accumulates one family of run (the server is
+// single-mode), so at most one branch has work.
+func (cn *conn) flushOps() {
+	if len(cn.ops) > 0 {
+		cn.res = cn.srv.kv.ApplyInto(cn.res[:0], cn.ops)
+		cn.srv.batches.Add(1)
+		cn.srv.served.Add(int64(len(cn.ops)))
+		for i, op := range cn.ops {
+			r := cn.res[i]
+			switch {
+			case op.Kind == hyaline.OpGet && r.OK:
+				cn.buf = protocol.AppendValue(cn.buf, r.Val)
+			case r.OK:
+				cn.buf = protocol.AppendOK(cn.buf)
+			default:
+				cn.buf = protocol.AppendNil(cn.buf)
+			}
+		}
+		cn.ops = cn.ops[:0]
+	}
+	if len(cn.bops) > 0 {
+		cn.bres, cn.vbuf = cn.srv.kvb.ApplyBytesInto(cn.bres[:0], cn.vbuf[:0], cn.bops)
+		cn.srv.batches.Add(1)
+		cn.srv.served.Add(int64(len(cn.bops)))
+		for i, op := range cn.bops {
+			r := cn.bres[i]
+			switch {
+			case op.Kind == hyaline.OpGet && r.OK:
+				cn.buf = protocol.AppendValueB(cn.buf, r.Val)
+			case r.OK:
+				cn.buf = protocol.AppendOK(cn.buf)
+			default:
+				cn.buf = protocol.AppendNil(cn.buf)
+			}
+		}
+		cn.bops = cn.bops[:0]
+	}
 }
 
 // protoErr flushes what came before the malformed frame (those requests

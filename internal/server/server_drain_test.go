@@ -1,0 +1,126 @@
+package server_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"hyaline"
+	"hyaline/internal/protocol"
+	"hyaline/internal/server"
+)
+
+// TestShutdownMalformedRace races Shutdown against a connection whose
+// in-flight window ends in a malformed frame. The ERR-then-close path
+// runs concurrently with the drain, and whichever side wins, no session
+// lease may leak: InFlight must be zero once Shutdown returns. Each
+// iteration uses a fresh server so the interleaving varies.
+func TestShutdownMalformedRace(t *testing.T) {
+	iters := 12
+	if testing.Short() {
+		iters = 4
+	}
+
+	run := func(t *testing.T, bytesMode bool) {
+		// A structurally valid frame carrying a wrong-size payload for
+		// its op — rejected by ValidateRequest, not by the reader.
+		junk := protocol.AppendFrame(nil, byte(protocol.OpGet), []byte{1, 2, 3})
+		if bytesMode {
+			junk = protocol.AppendFrame(nil, byte(protocol.OpGetB), []byte{9, 0, 'a'})
+		}
+		for it := 0; it < iters; it++ {
+			var (
+				inFlight func() int
+				srv      *server.Server
+			)
+			if bytesMode {
+				kv, err := hyaline.NewKVBytes("blist", "hyaline", hyaline.KVOptions{
+					MaxThreads: 4, ArenaCap: 1 << 14, BlobClassBudget: 1 << 18,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				inFlight = kv.InFlight
+				srv = server.NewBytes(kv, server.Options{MaxPipeline: 8})
+			} else {
+				kv, err := hyaline.NewKV("hashmap", "hyaline", hyaline.KVOptions{
+					MaxThreads: 4, ArenaCap: 1 << 14,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				inFlight = kv.InFlight
+				srv = server.New(kv, server.Options{MaxPipeline: 8})
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			serveErr := make(chan error, 1)
+			go func() { serveErr <- srv.Serve(ln) }()
+
+			c, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := protocol.NewWriter(c)
+			for i := uint64(0); i < 16; i++ {
+				if bytesMode {
+					w.SetB([]byte{byte(i)}, []byte("v"))
+				} else {
+					w.Set(i, i)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Race: the malformed tail lands while the drain is starting.
+			shutdownErr := make(chan error, 1)
+			go func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				shutdownErr <- srv.Shutdown(ctx)
+			}()
+			c.Write(junk) // may race the server closing the conn; error is fine
+
+			if err := <-shutdownErr; err != nil {
+				t.Fatalf("iter %d: Shutdown: %v", it, err)
+			}
+			if err := <-serveErr; err != server.ErrServerClosed {
+				t.Fatalf("iter %d: Serve returned %v, want ErrServerClosed", it, err)
+			}
+			if n := inFlight(); n != 0 {
+				t.Fatalf("iter %d: %d session leases leaked through the drain", it, n)
+			}
+			// Whatever was answered before the cut must be a well-formed
+			// reply stream: zero or more OKs, at most one ERR, then EOF.
+			rd := protocol.NewReader(c)
+			sawErr := false
+			for {
+				f, err := rd.ReadFrame()
+				if err != nil {
+					break
+				}
+				switch protocol.Status(f.Code) {
+				case protocol.StatusOK:
+					if sawErr {
+						t.Fatalf("iter %d: OK reply after ERR", it)
+					}
+				case protocol.StatusErr:
+					if sawErr {
+						t.Fatalf("iter %d: two ERR replies", it)
+					}
+					sawErr = true
+				default:
+					t.Fatalf("iter %d: unexpected reply %s", it, protocol.Status(f.Code))
+				}
+			}
+			c.Close()
+		}
+	}
+
+	t.Run("uint64", func(t *testing.T) { run(t, false) })
+	t.Run("bytes", func(t *testing.T) { run(t, true) })
+}

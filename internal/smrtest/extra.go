@@ -20,6 +20,71 @@ func RunExtra(t *testing.T, f Factory, opts Options) {
 	t.Run("Oversubscribed", func(t *testing.T) { Oversubscribed(t, f, opts) })
 	t.Run("InterleavedEnterLeave", func(t *testing.T) { InterleavedEnterLeave(t, f) })
 	t.Run("TrimTorture", func(t *testing.T) { TrimTorture(t, f, opts) })
+	t.Run("ScanAfterFlush", func(t *testing.T) { ScanAfterFlush(t, f) })
+}
+
+// ScanAfterFlush is the regression test for the stuck scan trigger:
+// schemes with an adaptive limbo-scan threshold (nextScan moves with
+// the surviving count so a pinned limbo list is not rescanned
+// quadratically) must re-arm that trigger when a scan reached through
+// Flush drains the list. Before the fix the trigger stayed at the
+// balloon's high-water mark, so after the flush no retire-triggered
+// scan would fire until the limbo re-grew to the old peak — unbounded
+// garbage long after the stall cleared.
+func ScanAfterFlush(t *testing.T, f Factory) {
+	a := arena.New(1 << 15)
+	tr := f(a, 2)
+	if _, leaky := isLeaky(tr); leaky {
+		t.Skip("leaky never reclaims")
+	}
+
+	// Balloon: nodes born before a reader's bracket, retired inside it,
+	// stay pinned for bracket- and interval-based schemes, growing the
+	// retiring thread's limbo (and its scan trigger) to balloon size.
+	const balloon = 8192
+	idxs := make([]ptr.Index, balloon)
+	tr.Enter(0)
+	for i := range idxs {
+		idxs[i] = tr.Alloc(0)
+	}
+	tr.Leave(0)
+	tr.Enter(1) // the stalled reader
+	for _, idx := range idxs {
+		tr.Enter(0)
+		tr.Retire(0, idx)
+		tr.Leave(0)
+	}
+	high := tr.Stats().Unreclaimed()
+	tr.Leave(1)
+
+	// The stall clears and a flush drains the backlog.
+	if fl, ok := tr.(smr.Flusher); ok {
+		for pass := 0; pass < 3; pass++ {
+			fl.Flush(0)
+			fl.Flush(1)
+		}
+	}
+	if un := tr.Stats().Unreclaimed(); un != 0 {
+		t.Fatalf("flush after the stall cleared left %d unreclaimed", un)
+	}
+
+	// A quiet retire stream afterwards must reclaim at the normal
+	// threshold cadence, not wait for the old high-water mark.
+	const stream = 4096
+	const bound = 2048
+	var maxUn int64
+	for i := 0; i < stream; i++ {
+		tr.Enter(0)
+		tr.Retire(0, tr.Alloc(0))
+		tr.Leave(0)
+		if un := tr.Stats().Unreclaimed(); un > maxUn {
+			maxUn = un
+		}
+	}
+	if maxUn > bound {
+		t.Fatalf("unreclaimed reached %d during a quiet retire stream after a %d-node balloon drained (bound %d): the scan trigger is stuck at the high-water mark",
+			maxUn, high, bound)
+	}
 }
 
 // Dealloc checks the never-published-node fast path: direct free with

@@ -3,16 +3,13 @@ package hyaline
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"hyaline/internal/ds"
-	"hyaline/internal/session"
 	"hyaline/internal/trackers"
 )
 
-// KVOptions configures NewKV. The zero value picks defaults suitable
-// for a process-wide shared map.
+// KVOptions configures NewKV and NewKVBytes. The zero value picks
+// defaults suitable for a process-wide shared map.
 type KVOptions struct {
 	// MaxThreads bounds how many operations can be *in flight*
 	// concurrently — not how many goroutines may call the KV. Thread
@@ -22,6 +19,10 @@ type KVOptions struct {
 	// ArenaCap is the node pool capacity (virtual until touched).
 	// Default 1<<20.
 	ArenaCap int
+	// BlobClassBudget is the byte budget per blob size class, used only
+	// by NewKVBytes (see arena.EnableBlobs). Default 1<<24 per class —
+	// virtual until touched, like the node pool.
+	BlobClassBudget int
 	// Tracker carries per-scheme tuning (slots, batch sizes, scan
 	// thresholds). Its MaxThreads field is overridden by MaxThreads
 	// above.
@@ -38,7 +39,8 @@ type KVOptions struct {
 // usually reuses the session its P released a moment ago, touching no
 // shared state and allocating nothing. On miss it claims a tid from the
 // pool's lock-free bitmap, and only when every tid is in flight does it
-// wait.
+// wait. (The machinery lives in the embedded leaser, shared with
+// KVBytes.)
 //
 // When several operations are available at once, the batch API —
 // Apply, InsertBatch, DeleteBatch, GetBatch — runs them under a single
@@ -54,44 +56,7 @@ type KV struct {
 	tr        Tracker
 	m         Map
 	r         Ranger // nil when the structure is unordered
-	pool      *session.Pool
-	byTid     []kvSession
-
-	// cache holds released sessions for per-P reuse. Entries may be
-	// stale: a session can be scavenged out of a cached entry by an
-	// exhausted acquirer (or dropped wholesale by the GC), so the
-	// per-session state word is the single arbiter of ownership —
-	// cache.Get yields a session only after winning the cached→active
-	// CAS.
-	//
-	// The cache deliberately lives here and not in session.Pool: a
-	// cached session is still leased from the pool's point of view, and
-	// keeping the bitmap a strict lease ledger is what lets Pool.InUse
-	// and Pool.Flush mean something at quiescence (the conformance
-	// suite asserts on both). KV trades that exactness for a faster
-	// steady state and repairs exhaustion by scavenging.
-	cache   sync.Pool
-	waiters atomic.Int32
-	wake    chan struct{}
-	flushMu sync.Mutex
-}
-
-// Session lease states. A tid starts free (in the pool bitmap), becomes
-// active while an operation holds it, and parks as cached between
-// operations. Cached sessions live in the sync.Pool but remain leased
-// from the bitmap's point of view; the scavenger reclaims them when the
-// bitmap runs dry, which also heals sessions the GC silently dropped
-// from the sync.Pool.
-const (
-	kvFree uint32 = iota
-	kvActive
-	kvCached
-)
-
-type kvSession struct {
-	s     *session.Session
-	state atomic.Uint32
-	_     [52]byte // pad to 64 B: one leased session per cache line
+	leaser
 }
 
 // NewKV builds a concurrent map: the named structure over the named
@@ -126,78 +91,10 @@ func NewKV(structure, scheme string, opts KVOptions) (*KV, error) {
 		a:         a,
 		tr:        tr,
 		m:         m,
-		pool:      session.NewPool(tr, maxThreads),
-		byTid:     make([]kvSession, maxThreads),
-		wake:      make(chan struct{}, maxThreads),
 	}
+	kv.leaser.init(tr, maxThreads)
 	kv.r, _ = m.(Ranger)
 	return kv, nil
-}
-
-// acquire leases a session for one operation.
-func (kv *KV) acquire() *kvSession {
-	if x := kv.cache.Get(); x != nil {
-		ks := x.(*kvSession)
-		if ks.state.CompareAndSwap(kvCached, kvActive) {
-			return ks
-		}
-		// Stale handle: the session was scavenged while cached (it may
-		// reappear in the cache later — the state CAS arbitrates).
-	}
-	if ks := kv.claim(); ks != nil {
-		return ks
-	}
-	return kv.acquireSlow()
-}
-
-// claim takes a never-yet-leased tid from the pool bitmap or scavenges
-// a cached one. Returns nil when every session is actively in use.
-func (kv *KV) claim() *kvSession {
-	if s, ok := kv.pool.TryAcquire(); ok {
-		ks := &kv.byTid[s.Tid()]
-		ks.s = s // idempotent: tid↔Session binding never changes
-		ks.state.Store(kvActive)
-		return ks
-	}
-	for i := range kv.byTid {
-		ks := &kv.byTid[i]
-		if ks.state.Load() == kvCached && ks.state.CompareAndSwap(kvCached, kvActive) {
-			return ks
-		}
-	}
-	return nil
-}
-
-// acquireSlow spins briefly, then parks until a release posts a wake
-// token. The waiter count is published before the final claim attempt
-// and release stores the cached state before checking the count, so a
-// racing release always observes the waiter — no lost wakeups.
-func (kv *KV) acquireSlow() *kvSession {
-	for i := 0; i < 32; i++ {
-		if ks := kv.claim(); ks != nil {
-			return ks
-		}
-		runtime.Gosched()
-	}
-	kv.waiters.Add(1)
-	defer kv.waiters.Add(-1)
-	for {
-		if ks := kv.claim(); ks != nil {
-			return ks
-		}
-		<-kv.wake
-	}
-}
-
-func (kv *KV) release(ks *kvSession) {
-	ks.state.Store(kvCached)
-	kv.cache.Put(ks)
-	if kv.waiters.Load() > 0 {
-		select {
-		case kv.wake <- struct{}{}:
-		default: // buffer full: enough pending tokens already
-		}
-	}
 }
 
 // Insert adds key→val, failing if the key exists.
@@ -236,6 +133,15 @@ func (kv *KV) Get(key uint64) (uint64, bool) {
 // guarantees of Ranger apply (sorted, duplicate-free, bounded — not an
 // atomic snapshot).
 //
+// The scan is chunked: every batchChunk visited keys the underlying
+// traversal is restarted from the next unvisited key and the session's
+// reclamation bracket is re-armed with Trim, the same discipline the
+// batch API uses. A long scan — or a slow consumer in fn — therefore
+// pins at most one chunk's worth of traversal, instead of stalling
+// reclamation for the whole range. (Restarting costs a re-traversal to
+// the cursor on list-shaped structures; the chunk size trades that
+// against how long retired nodes stay pinned.)
+//
 // fn must not call back into the KV: the scan holds its session lease
 // for the whole traversal, so a nested operation competes for the
 // remaining MaxThreads-1 leases and deadlocks once they are exhausted
@@ -250,8 +156,31 @@ func (kv *KV) Range(lo, hi uint64, fn func(key, val uint64) bool) error {
 	s := ks.s
 	s.Enter()
 	defer s.Leave()
-	kv.r.Range(s.Tid(), lo, hi, fn)
-	return nil
+	cursor := lo
+	for {
+		visited := 0
+		stopped := false
+		last := cursor
+		kv.r.Range(s.Tid(), cursor, hi, func(k, v uint64) bool {
+			last = k
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			visited++
+			return visited < batchChunk
+		})
+		// Done unless the chunk filled with range left to cover. The
+		// last == hi check also guards cursor overflow at hi = 2^64-1.
+		if stopped || visited < batchChunk || last == hi {
+			return nil
+		}
+		cursor = last + 1
+		// Between chunks no node is referenced, so the bracket can be
+		// re-armed: retired nodes accumulated behind this scan become
+		// reclaimable before the next chunk starts.
+		s.Trim()
+	}
 }
 
 // Len counts entries. Exact at quiescence, approximate under churn.
@@ -287,20 +216,6 @@ func (kv *KV) Snapshot() Snapshot {
 	}
 }
 
-// InFlight returns the number of sessions held by operations currently
-// executing (active leases; idle cached sessions do not count). Zero at
-// quiescence — the network server's graceful shutdown asserts on it to
-// prove no batch bracket outlived the drain.
-func (kv *KV) InFlight() int {
-	n := 0
-	for i := range kv.byTid {
-		if kv.byTid[i].state.Load() == kvActive {
-			n++
-		}
-	}
-	return n
-}
-
 // Live returns the number of arena nodes currently allocated: map
 // entries (plus structure-internal nodes) and retired-but-unreclaimed
 // nodes.
@@ -311,27 +226,3 @@ func (kv *KV) Scheme() string { return kv.tr.Name() }
 
 // Structure returns the data structure name.
 func (kv *KV) Structure() string { return kv.structure }
-
-// MaxThreads returns the concurrent-operation bound (the leased-tid
-// count, not a goroutine limit).
-func (kv *KV) MaxThreads() int { return kv.pool.MaxThreads() }
-
-// Flush pushes pending reclamation to completion, best-effort. It
-// briefly leases every session (waiting out in-flight operations), so
-// it is expensive — meant for final accounting or idle housekeeping,
-// not the hot path. Like every KV operation it must not be called from
-// inside a Range callback: it waits for the callback's own lease.
-func (kv *KV) Flush() {
-	kv.flushMu.Lock()
-	defer kv.flushMu.Unlock()
-	held := make([]*kvSession, 0, kv.pool.MaxThreads())
-	for len(held) < cap(held) {
-		held = append(held, kv.acquire())
-	}
-	for _, ks := range held {
-		ks.s.Flush()
-	}
-	for _, ks := range held {
-		kv.release(ks)
-	}
-}

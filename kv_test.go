@@ -257,6 +257,89 @@ func BenchmarkKVGet(b *testing.B) {
 	})
 }
 
+// TestKVRangeLongScanBounded: a long Range must not pin reclamation
+// for its whole duration. Range re-arms its bracket (Trim) every chunk
+// of visited keys, so a scan brackets at most one chunk's worth of
+// concurrent retires. The churn is driven in lockstep from inside the
+// scan callback (via a helper goroutine — fn must not call back into
+// the KV itself), so the retire volume between re-arms is fixed by
+// construction and the bound is deterministic: free-running churners
+// would spike the gauge whenever a goroutine is preempted mid-bracket,
+// drowning the signal this test is after. The tracker-level twin with
+// an unchunked-scan control is dstest.ScanPinning.
+func TestKVRangeLongScanBounded(t *testing.T) {
+	kv, err := hyaline.NewKV("skiplist", "hyaline", hyaline.KVOptions{
+		MaxThreads: 4,
+		ArenaCap:   1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scanned population: static keys the churn never touches.
+	scanKeys := uint64(4096)
+	if testing.Short() {
+		scanKeys = 2048
+	}
+	for k := uint64(0); k < scanKeys; k++ {
+		kv.Insert(k, kvChecksum(k))
+	}
+
+	// The churner runs pairsPerVisit insert+delete cycles on a disjoint
+	// high stripe each time the scan callback asks, then hands control
+	// back. While it runs, the scanner is parked mid-callback — inside
+	// its bracket — which is exactly the pinning scenario.
+	const pairsPerVisit = 8
+	req := make(chan struct{})
+	ack := make(chan struct{})
+	go func() {
+		var cursor uint64
+		for range req {
+			for j := 0; j < pairsPerVisit; j++ {
+				key := uint64(1<<40) + cursor%512
+				cursor++
+				kv.Insert(key, kvChecksum(key))
+				kv.Delete(key)
+			}
+			ack <- struct{}{}
+		}
+	}()
+	defer close(req)
+
+	var maxUnreclaimed int64
+	visited := uint64(0)
+	err = kv.Range(0, scanKeys-1, func(k, v uint64) bool {
+		if v != kvChecksum(k) {
+			t.Errorf("Range saw (%d, %d)", k, v)
+			return false
+		}
+		visited++
+		req <- struct{}{}
+		<-ack
+		if un := kv.Stats().Unreclaimed(); un > maxUnreclaimed {
+			maxUnreclaimed = un
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != scanKeys {
+		t.Fatalf("scan visited %d static keys, want %d", visited, scanKeys)
+	}
+	// Total churn is scanKeys*pairsPerVisit retires (32k); a scan that
+	// held one bracket throughout would sample unreclaimed counts of
+	// that order. The chunked re-arm brackets one chunk's churn (64*8)
+	// plus the scheme's batching slack.
+	const bound = 4096
+	if maxUnreclaimed > bound {
+		t.Fatalf("unreclaimed reached %d mid-scan (bound %d, total churn %d): the scan bracket is pinning reclamation",
+			maxUnreclaimed, bound, scanKeys*pairsPerVisit)
+	}
+	if n := kv.InFlight(); n != 0 {
+		t.Fatalf("%d leases in flight after scans", n)
+	}
+}
+
 // BenchmarkKVMixed is the write-heavy mix through the session layer,
 // oversubscribed: 4×GOMAXPROCS goroutines over 2×GOMAXPROCS tids.
 func BenchmarkKVMixed(b *testing.B) {

@@ -1,0 +1,149 @@
+package hyaline
+
+import (
+	"fmt"
+	"runtime"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/ds"
+	"hyaline/internal/trackers"
+)
+
+// KVBytes is the []byte-payload sibling of KV: a goroutine-transparent
+// concurrent map from byte-string keys to byte-string values, running
+// over the same reclamation schemes. Payloads live in the arena's blob
+// slabs and share the nodes' lifecycle, so every scheme's safety
+// argument covers them unchanged (see internal/arena's slab docs).
+//
+// Semantics mirror KV: Insert is insert-only (no in-place update),
+// values are immutable from publish to reclamation, and Get returns a
+// copy, never a slice aliasing reclaimable memory. Session leasing,
+// batching and the chunked-Trim bracket discipline are identical — the
+// machinery is the same embedded leaser.
+type KVBytes struct {
+	structure string
+	a         *Arena
+	tr        Tracker
+	m         ds.BytesMap
+	leaser
+}
+
+// NewKVBytes builds a concurrent bytes map: the named bytes structure
+// (see BytesStructures) over the named reclamation scheme. Keys and
+// values up to MaxValueLen bytes each.
+func NewKVBytes(structure, scheme string, opts KVOptions) (*KVBytes, error) {
+	maxThreads := opts.MaxThreads
+	if maxThreads <= 0 {
+		maxThreads = 2 * runtime.GOMAXPROCS(0)
+	}
+	arenaCap := opts.ArenaCap
+	if arenaCap <= 0 {
+		arenaCap = 1 << 20
+	}
+	blobBudget := opts.BlobClassBudget
+	if blobBudget <= 0 {
+		blobBudget = 1 << 24
+	}
+	a := NewArena(arenaCap)
+	a.EnableBlobs(blobBudget)
+	tcfg := opts.Tracker
+	tcfg.MaxThreads = maxThreads
+	tr, err := trackers.New(scheme, a, tcfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ds.NewBytes(structure, a, tr, maxThreads)
+	if err != nil {
+		return nil, err
+	}
+	if !ds.SupportsBytes(structure, scheme) {
+		return nil, fmt.Errorf("hyaline: %s does not support scheme %s", structure, scheme)
+	}
+	kv := &KVBytes{
+		structure: structure,
+		a:         a,
+		tr:        tr,
+		m:         m,
+	}
+	kv.leaser.init(tr, maxThreads)
+	return kv, nil
+}
+
+// MaxValueLen is the largest key or value KVBytes accepts, matching
+// both the blob slabs' largest size class and the wire protocol's
+// frame-length field.
+const MaxValueLen = arena.MaxBlob
+
+// Insert adds key→val, failing if the key exists. Both slices are
+// copied in; the caller keeps ownership of its buffers.
+func (kv *KVBytes) Insert(key, val []byte) bool {
+	ks := kv.acquire()
+	defer kv.release(ks)
+	s := ks.s
+	s.Enter()
+	defer s.Leave()
+	return kv.m.Insert(s.Tid(), key, val)
+}
+
+// Delete removes key, failing if it is absent.
+func (kv *KVBytes) Delete(key []byte) bool {
+	ks := kv.acquire()
+	defer kv.release(ks)
+	s := ks.s
+	s.Enter()
+	defer s.Leave()
+	return kv.m.Delete(s.Tid(), key)
+}
+
+// Get returns a copy of the value under key.
+func (kv *KVBytes) Get(key []byte) ([]byte, bool) {
+	v, ok := kv.GetAppend(nil, key)
+	if !ok {
+		return nil, false
+	}
+	return v, true
+}
+
+// GetAppend appends the value under key to dst and returns it, leaving
+// dst unchanged on a miss. Reusing dst across calls keeps the read path
+// free of per-call heap allocation (the copy itself is unavoidable: the
+// blob may be reclaimed the moment the bracket closes).
+func (kv *KVBytes) GetAppend(dst []byte, key []byte) ([]byte, bool) {
+	ks := kv.acquire()
+	defer kv.release(ks)
+	s := ks.s
+	s.Enter()
+	defer s.Leave()
+	return kv.m.Get(s.Tid(), key, dst)
+}
+
+// Len counts entries. Exact at quiescence, approximate under churn.
+func (kv *KVBytes) Len() int { return kv.m.Len() }
+
+// Stats returns the reclamation counters accumulated since creation.
+func (kv *KVBytes) Stats() Stats { return kv.tr.Stats() }
+
+// Snapshot collects the KV's current summary (see KV.Snapshot).
+func (kv *KVBytes) Snapshot() Snapshot {
+	return Snapshot{
+		Structure:  kv.structure,
+		Scheme:     kv.tr.Name(),
+		MaxThreads: kv.pool.MaxThreads(),
+		Len:        kv.m.Len(),
+		Live:       kv.a.Live(),
+		Stats:      kv.tr.Stats(),
+	}
+}
+
+// Live returns the number of arena nodes currently allocated.
+func (kv *KVBytes) Live() int64 { return kv.a.Live() }
+
+// BlobStats returns the blob slab counters: live blobs are the byte
+// payloads currently owned by live (or retired-but-unreclaimed) nodes.
+func (kv *KVBytes) BlobStats() arena.BlobStats { return kv.a.BlobStats() }
+
+// Scheme returns the reclamation scheme name.
+func (kv *KVBytes) Scheme() string { return kv.tr.Name() }
+
+// Structure returns the data structure name.
+func (kv *KVBytes) Structure() string { return kv.structure }

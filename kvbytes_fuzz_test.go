@@ -1,0 +1,111 @@
+package hyaline_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hyaline"
+)
+
+// FuzzKVBytesApply decodes the fuzz input as a stream of bytes-KV
+// commands, applies them through ApplyBytes, and checks every result
+// against a map[string][]byte model. Single-threaded applies are
+// deterministic, so the model is exact — any divergence is a bug in the
+// bytes list, the blob slabs, or the batch plumbing.
+//
+// Input grammar, repeated until the data runs out:
+//
+//	op byte (mod 3: 0=Insert 1=Delete 2=Get)
+//	klen byte (mod 9, so keys collide often)
+//	key bytes
+//	vlen byte (Insert only; value is vlen bytes of the next op byte)
+func FuzzKVBytesApply(f *testing.F) {
+	f.Add([]byte{0, 1, 'a', 3, 2, 1, 'a', 1, 1, 'a', 0, 2, 'a', 'b', 5})
+	f.Add([]byte{0, 0, 200, 2, 0, 1, 0})
+	f.Add(bytes.Repeat([]byte{0, 3, 'x', 'y', 'z', 7}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kv, err := hyaline.NewKVBytes("blist", "hyaline", hyaline.KVOptions{
+			MaxThreads:      2,
+			ArenaCap:        1 << 12,
+			BlobClassBudget: 1 << 18,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ops []hyaline.BytesOp
+		model := map[string][]byte{}
+		type pred struct {
+			ok  bool
+			val []byte
+		}
+		var expect []pred
+		for i := 0; i < len(data) && len(ops) < 512; {
+			op := data[i] % 3
+			i++
+			if i >= len(data) {
+				break
+			}
+			klen := int(data[i] % 9)
+			i++
+			if i+klen > len(data) {
+				break
+			}
+			key := data[i : i+klen]
+			i += klen
+			switch op {
+			case 0:
+				if i >= len(data) {
+					break
+				}
+				vlen := int(data[i])
+				i++
+				fill := byte(0)
+				if i < len(data) {
+					fill = data[i]
+				}
+				val := bytes.Repeat([]byte{fill}, vlen)
+				ops = append(ops, hyaline.BytesOp{Kind: hyaline.OpInsert, Key: key, Val: val})
+				if _, dup := model[string(key)]; dup {
+					expect = append(expect, pred{ok: false})
+				} else {
+					model[string(key)] = val
+					expect = append(expect, pred{ok: true})
+				}
+			case 1:
+				ops = append(ops, hyaline.BytesOp{Kind: hyaline.OpDelete, Key: key})
+				_, hit := model[string(key)]
+				delete(model, string(key))
+				expect = append(expect, pred{ok: hit})
+			default:
+				ops = append(ops, hyaline.BytesOp{Kind: hyaline.OpGet, Key: key})
+				v, hit := model[string(key)]
+				expect = append(expect, pred{ok: hit, val: v})
+			}
+		}
+		ops = ops[:len(expect)]
+
+		res := kv.ApplyBytes(ops)
+		for i, r := range res {
+			if r.OK != expect[i].ok {
+				t.Fatalf("op %d (%v key=%q): OK=%v, model says %v", i, ops[i].Kind, ops[i].Key, r.OK, expect[i].ok)
+			}
+			if ops[i].Kind == hyaline.OpGet && r.OK && !bytes.Equal(r.Val, expect[i].val) {
+				t.Fatalf("op %d: Get %q returned %d bytes, model has %d", i, ops[i].Key, len(r.Val), len(expect[i].val))
+			}
+		}
+		// Final state agrees and nothing leaked.
+		if kv.Len() != len(model) {
+			t.Fatalf("Len=%d, model has %d", kv.Len(), len(model))
+		}
+		for k, v := range model {
+			got, ok := kv.Get([]byte(k))
+			if !ok || !bytes.Equal(got, v) {
+				t.Fatalf("final Get %q: ok=%v len=%d, want len=%d", k, ok, len(got), len(v))
+			}
+		}
+		if n := kv.InFlight(); n != 0 {
+			t.Fatalf("%d leases in flight after applies", n)
+		}
+	})
+}

@@ -1,0 +1,258 @@
+package hyaline_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hyaline"
+)
+
+func newBytesKV(t *testing.T, scheme string) *hyaline.KVBytes {
+	t.Helper()
+	kv, err := hyaline.NewKVBytes("blist", scheme, hyaline.KVOptions{
+		MaxThreads: 8, ArenaCap: 1 << 16, BlobClassBudget: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kv
+}
+
+func TestKVBytesRoundTrip(t *testing.T) {
+	kv := newBytesKV(t, "hyaline")
+	if !kv.Insert([]byte("alpha"), []byte("first")) {
+		t.Fatal("Insert alpha failed")
+	}
+	if kv.Insert([]byte("alpha"), []byte("second")) {
+		t.Fatal("duplicate Insert succeeded")
+	}
+	if v, ok := kv.Get([]byte("alpha")); !ok || string(v) != "first" {
+		t.Fatalf("Get = (%q, %v)", v, ok)
+	}
+	if _, ok := kv.Get([]byte("beta")); ok {
+		t.Fatal("Get of absent key hit")
+	}
+	if !kv.Delete([]byte("alpha")) || kv.Delete([]byte("alpha")) {
+		t.Fatal("Delete semantics wrong")
+	}
+	// Zero-length keys and values are legal payloads.
+	if !kv.Insert([]byte{}, []byte{}) {
+		t.Fatal("empty-key insert failed")
+	}
+	if v, ok := kv.Get(nil); !ok || len(v) != 0 {
+		t.Fatalf("empty Get = (%v, %v)", v, ok)
+	}
+	if kv.Len() != 1 {
+		t.Fatalf("Len = %d", kv.Len())
+	}
+}
+
+func TestKVBytesGetAppend(t *testing.T) {
+	kv := newBytesKV(t, "epoch")
+	kv.Insert([]byte("k1"), []byte("vvv1"))
+	kv.Insert([]byte("k2"), []byte("vvv2"))
+	buf := make([]byte, 0, 64)
+	buf, ok := kv.GetAppend(buf, []byte("k1"))
+	if !ok || string(buf) != "vvv1" {
+		t.Fatalf("first append = %q, %v", buf, ok)
+	}
+	buf, ok = kv.GetAppend(buf, []byte("k2"))
+	if !ok || string(buf) != "vvv1vvv2" {
+		t.Fatalf("second append = %q, %v", buf, ok)
+	}
+	if buf, ok = kv.GetAppend(buf, []byte("nope")); ok || string(buf) != "vvv1vvv2" {
+		t.Fatalf("miss mutated dst: %q, %v", buf, ok)
+	}
+}
+
+func TestKVBytesApplyInto(t *testing.T) {
+	kv := newBytesKV(t, "hyaline-1s")
+	// Interleave inserts, gets and deletes; Get values must alias the
+	// batch buffer and survive buffer reallocation mid-batch.
+	var ops []hyaline.BytesOp
+	for i := 0; i < 200; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		val := bytes.Repeat([]byte{byte(i)}, 1+i%500)
+		ops = append(ops,
+			hyaline.BytesOp{Kind: hyaline.OpInsert, Key: key, Val: val},
+			hyaline.BytesOp{Kind: hyaline.OpGet, Key: key},
+		)
+	}
+	ops = append(ops, hyaline.BytesOp{Kind: hyaline.OpDelete, Key: []byte("key-0000")})
+	res, _ := kv.ApplyBytesInto(nil, make([]byte, 0, 8), ops)
+	if len(res) != len(ops) {
+		t.Fatalf("%d results for %d ops", len(res), len(ops))
+	}
+	for i := 0; i < 200; i++ {
+		if !res[2*i].OK {
+			t.Fatalf("insert %d failed", i)
+		}
+		got := res[2*i+1]
+		want := bytes.Repeat([]byte{byte(i)}, 1+i%500)
+		if !got.OK || !bytes.Equal(got.Val, want) {
+			t.Fatalf("get %d = ok=%v len=%d, want len=%d", i, got.OK, len(got.Val), len(want))
+		}
+	}
+	if !res[len(res)-1].OK {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestKVBytesBatches(t *testing.T) {
+	kv := newBytesKV(t, "ibr")
+	n := 300 // spans several Trim chunks
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%06d", i))
+		vals[i] = []byte(fmt.Sprintf("val=%d", i*i))
+	}
+	for i, ok := range kv.InsertBatch(keys, vals) {
+		if !ok {
+			t.Fatalf("InsertBatch[%d] failed", i)
+		}
+	}
+	res, _ := kv.GetBatch(nil, nil, keys)
+	for i, r := range res {
+		if !r.OK || !bytes.Equal(r.Val, vals[i]) {
+			t.Fatalf("GetBatch[%d] = (%q, %v)", i, r.Val, r.OK)
+		}
+	}
+	for i, ok := range kv.DeleteBatch(keys[:100]) {
+		if !ok {
+			t.Fatalf("DeleteBatch[%d] failed", i)
+		}
+	}
+	if kv.Len() != n-100 {
+		t.Fatalf("Len = %d, want %d", kv.Len(), n-100)
+	}
+	if kv.InFlight() != 0 {
+		t.Fatalf("InFlight = %d at quiescence", kv.InFlight())
+	}
+}
+
+// TestKVBytesConcurrent churns the bytes map from many goroutines with
+// content-checked values (value derivable from key), under the two
+// scheme families with the most distinct protection protocols.
+func TestKVBytesConcurrent(t *testing.T) {
+	for _, scheme := range []string{"hyaline", "hp"} {
+		t.Run(scheme, func(t *testing.T) {
+			kv := newBytesKV(t, scheme)
+			iters := 400
+			if testing.Short() {
+				iters = 80
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					var buf []byte
+					for i := 0; i < iters; i++ {
+						k := rng.Intn(64)
+						key := []byte(fmt.Sprintf("key-%02d", k))
+						switch rng.Intn(3) {
+						case 0:
+							kv.Insert(key, bytes.Repeat([]byte{byte(k)}, 3+k))
+						case 1:
+							kv.Delete(key)
+						default:
+							var ok bool
+							buf = buf[:0]
+							if buf, ok = kv.GetAppend(buf, key); ok {
+								want := bytes.Repeat([]byte{byte(k)}, 3+k)
+								if !bytes.Equal(buf, want) {
+									panic(fmt.Sprintf("value corruption under %s: key %q got %x", scheme, key, buf))
+								}
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			kv.Flush()
+			if got, want := kv.BlobStats().Live(), int64(2*kv.Len()); got < want {
+				t.Fatalf("blob Live = %d < 2×Len = %d (blob leak accounting broken)", got, want)
+			}
+		})
+	}
+}
+
+// benchBytesKV builds a bytes KV prefilled with n fixed-size entries,
+// keys "k%07d", for the Get/Apply payload benchmarks. The returned keys
+// slice lets hot loops pick keys without formatting per op.
+func benchBytesKV(b *testing.B, n, valueSize int) (*hyaline.KVBytes, [][]byte) {
+	b.Helper()
+	kv, err := hyaline.NewKVBytes("blist", "hyaline", hyaline.KVOptions{
+		MaxThreads: 32, ArenaCap: 1 << 16, BlobClassBudget: 1 << 26,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{0xA5}, valueSize)
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("k%07d", i))
+		if !kv.Insert(keys[i], val) {
+			b.Fatalf("prefill Insert(%s) failed", keys[i])
+		}
+	}
+	return kv, keys
+}
+
+// BenchmarkKVBytesGet is the bytes twin of BenchmarkKVGet: the same
+// leased read path plus one blob copy per hit. Compare the two to see
+// the payload-size cost the figure-23 curves plot.
+func BenchmarkKVBytesGet(b *testing.B) {
+	for _, size := range []int{16, 128, 1024} {
+		b.Run(fmt.Sprintf("valuesize=%d", size), func(b *testing.B) {
+			kv, keys := benchBytesKV(b, 10_000, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(rand.Int63()))
+				var dst []byte
+				for pb.Next() {
+					dst, _ = kv.GetAppend(dst[:0], keys[rng.Intn(len(keys))])
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkKVBytesApply is the bytes twin of BenchmarkKVApply, with the
+// same op mix and batch sizes; ns/op is per operation, so rows are
+// directly comparable between the two benchmarks.
+func BenchmarkKVBytesApply(b *testing.B) {
+	const valueSize = 128
+	for _, size := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			kv, keys := benchBytesKV(b, 10_000, valueSize)
+			val := bytes.Repeat([]byte{0x5A}, valueSize)
+			rng := rand.New(rand.NewSource(1))
+			ops := make([]hyaline.BytesOp, size)
+			for i := range ops {
+				key := keys[rng.Intn(len(keys))]
+				switch i % 4 {
+				case 0:
+					ops[i] = hyaline.BytesOp{Kind: hyaline.OpInsert, Key: key, Val: val}
+				case 1:
+					ops[i] = hyaline.BytesOp{Kind: hyaline.OpDelete, Key: key}
+				default:
+					ops[i] = hyaline.BytesOp{Kind: hyaline.OpGet, Key: key}
+				}
+			}
+			dst := make([]hyaline.BytesResult, 0, size)
+			var buf []byte
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n += size {
+				dst, buf = kv.ApplyBytesInto(dst[:0], buf[:0], ops)
+			}
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package hyaline
+
+import "fmt"
+
+// BytesOp is one operation of a bytes batch. Kind reuses the uint64
+// batch's OpKind values. Key and Val are read during Apply and copied
+// into arena blobs as needed — the batch never retains the caller's
+// slices, so aliasing them into a network read buffer is safe.
+type BytesOp struct {
+	Kind OpKind
+	Key  []byte
+	Val  []byte // used by OpInsert only
+}
+
+// BytesResult is the outcome of one batched bytes operation. For OpGet
+// hits, Val is the value (a sub-slice of the batch's value buffer — see
+// ApplyBytesInto); for mutations Val is nil and OK carries success.
+type BytesResult struct {
+	Val []byte
+	OK  bool
+
+	// vo/ve stage a Get hit's (start, end+1) offsets into the batch's
+	// value buffer while ApplyBytesInto runs: the buffer may reallocate
+	// mid-batch, so Val can only be sliced once the batch is done.
+	// Always zero outside that window.
+	vo, ve int
+}
+
+// ApplyBytes runs ops in order under a single session lease and a
+// single (chunked) Enter/Leave bracket, returning one BytesResult per
+// op. Like Apply, a batch is an amortization unit, not a transaction.
+// Get results are backed by one freshly allocated buffer per batch.
+func (kv *KVBytes) ApplyBytes(ops []BytesOp) []BytesResult {
+	if len(ops) == 0 {
+		return nil
+	}
+	res, _ := kv.ApplyBytesInto(make([]BytesResult, 0, len(ops)), nil, ops)
+	return res
+}
+
+// ApplyBytesInto is ApplyBytes appending results into dst and value
+// bytes into buf, for callers that reuse both across batches (the
+// network server feeds its per-connection buffers here). It returns the
+// extended slices; every Get hit's Val aliases the returned buf.
+//
+// Values are staged as offsets and materialized after the loop: buf may
+// reallocate while the batch runs, so slicing eagerly would leave early
+// results pointing into an abandoned backing array.
+func (kv *KVBytes) ApplyBytesInto(dst []BytesResult, buf []byte, ops []BytesOp) ([]BytesResult, []byte) {
+	if len(ops) == 0 {
+		return dst, buf
+	}
+	base := len(dst)
+	ks := kv.acquire()
+	defer kv.release(ks)
+	s := ks.s
+	tid := s.Tid()
+	s.Enter()
+	defer s.Leave()
+	for i, op := range ops {
+		batchTrim(ks, i)
+		var r BytesResult
+		switch op.Kind {
+		case OpGet:
+			start := len(buf)
+			var ok bool
+			buf, ok = kv.m.Get(tid, op.Key, buf)
+			if ok {
+				r.OK = true
+				r.vo, r.ve = start, len(buf)+1
+			}
+		case OpInsert:
+			r.OK = kv.m.Insert(tid, op.Key, op.Val)
+		case OpDelete:
+			r.OK = kv.m.Delete(tid, op.Key)
+		default:
+			panic(fmt.Sprintf("hyaline: ApplyBytes op %d has unknown kind %s", i, op.Kind))
+		}
+		dst = append(dst, r)
+	}
+	for i := base; i < len(dst); i++ {
+		if end := dst[i].ve; end > 0 {
+			dst[i].Val = buf[dst[i].vo : end-1 : end-1]
+			dst[i].vo, dst[i].ve = 0, 0
+		}
+	}
+	return dst, buf
+}
+
+// InsertBatch adds keys[i]→vals[i] for every i under one session lease
+// and one chunked Enter/Leave bracket. ok[i] reports whether keys[i]
+// was newly inserted. Panics when the slices differ in length.
+func (kv *KVBytes) InsertBatch(keys, vals [][]byte) []bool {
+	if len(keys) != len(vals) {
+		panic(fmt.Sprintf("hyaline: InsertBatch with %d keys but %d vals", len(keys), len(vals)))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	ok := make([]bool, len(keys))
+	ks := kv.acquire()
+	defer kv.release(ks)
+	s := ks.s
+	tid := s.Tid()
+	s.Enter()
+	defer s.Leave()
+	for i, key := range keys {
+		batchTrim(ks, i)
+		ok[i] = kv.m.Insert(tid, key, vals[i])
+	}
+	return ok
+}
+
+// DeleteBatch removes every key under one session lease and one chunked
+// Enter/Leave bracket. ok[i] reports whether keys[i] was present.
+func (kv *KVBytes) DeleteBatch(keys [][]byte) []bool {
+	if len(keys) == 0 {
+		return nil
+	}
+	ok := make([]bool, len(keys))
+	ks := kv.acquire()
+	defer kv.release(ks)
+	s := ks.s
+	tid := s.Tid()
+	s.Enter()
+	defer s.Leave()
+	for i, key := range keys {
+		batchTrim(ks, i)
+		ok[i] = kv.m.Delete(tid, key)
+	}
+	return ok
+}
+
+// GetBatch looks every key up under one session lease and one chunked
+// Enter/Leave bracket, appending one BytesResult per key to dst and the
+// value bytes to buf (pass nil for either to allocate). Hit values
+// alias the returned buf, as in ApplyBytesInto.
+func (kv *KVBytes) GetBatch(dst []BytesResult, buf []byte, keys [][]byte) ([]BytesResult, []byte) {
+	if len(keys) == 0 {
+		return dst, buf
+	}
+	ops := make([]BytesOp, len(keys))
+	for i, k := range keys {
+		ops[i] = BytesOp{Kind: OpGet, Key: k}
+	}
+	return kv.ApplyBytesInto(dst, buf, ops)
+}

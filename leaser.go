@@ -1,0 +1,166 @@
+package hyaline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hyaline/internal/session"
+)
+
+// leaser is the goroutine→tid leasing machinery shared by the KV
+// front-ends (uint64 KV and KVBytes): a session.Pool bitmap for claims,
+// a per-P sync.Pool fast path, and a scavenger that repairs exhaustion.
+// It is embedded by value so the front-ends inherit the promoted fields
+// and methods; see the KV doc comment for the full protocol story.
+type leaser struct {
+	pool  *session.Pool
+	byTid []kvSession
+
+	// cache holds released sessions for per-P reuse. Entries may be
+	// stale: a session can be scavenged out of a cached entry by an
+	// exhausted acquirer (or dropped wholesale by the GC), so the
+	// per-session state word is the single arbiter of ownership —
+	// cache.Get yields a session only after winning the cached→active
+	// CAS.
+	//
+	// The cache deliberately lives here and not in session.Pool: a
+	// cached session is still leased from the pool's point of view, and
+	// keeping the bitmap a strict lease ledger is what lets Pool.InUse
+	// and Pool.Flush mean something at quiescence (the conformance
+	// suite asserts on both). The leaser trades that exactness for a
+	// faster steady state and repairs exhaustion by scavenging.
+	cache   sync.Pool
+	waiters atomic.Int32
+	wake    chan struct{}
+	flushMu sync.Mutex
+}
+
+// Session lease states. A tid starts free (in the pool bitmap), becomes
+// active while an operation holds it, and parks as cached between
+// operations. Cached sessions live in the sync.Pool but remain leased
+// from the bitmap's point of view; the scavenger reclaims them when the
+// bitmap runs dry, which also heals sessions the GC silently dropped
+// from the sync.Pool.
+const (
+	kvFree uint32 = iota
+	kvActive
+	kvCached
+)
+
+type kvSession struct {
+	s     *session.Session
+	state atomic.Uint32
+	_     [52]byte // pad to 64 B: one leased session per cache line
+}
+
+// init wires the leaser over tr for maxThreads concurrent leases.
+func (l *leaser) init(tr Tracker, maxThreads int) {
+	l.pool = session.NewPool(tr, maxThreads)
+	l.byTid = make([]kvSession, maxThreads)
+	l.wake = make(chan struct{}, maxThreads)
+}
+
+// acquire leases a session for one operation.
+func (l *leaser) acquire() *kvSession {
+	if x := l.cache.Get(); x != nil {
+		ks := x.(*kvSession)
+		if ks.state.CompareAndSwap(kvCached, kvActive) {
+			return ks
+		}
+		// Stale handle: the session was scavenged while cached (it may
+		// reappear in the cache later — the state CAS arbitrates).
+	}
+	if ks := l.claim(); ks != nil {
+		return ks
+	}
+	return l.acquireSlow()
+}
+
+// claim takes a never-yet-leased tid from the pool bitmap or scavenges
+// a cached one. Returns nil when every session is actively in use.
+func (l *leaser) claim() *kvSession {
+	if s, ok := l.pool.TryAcquire(); ok {
+		ks := &l.byTid[s.Tid()]
+		ks.s = s // idempotent: tid↔Session binding never changes
+		ks.state.Store(kvActive)
+		return ks
+	}
+	for i := range l.byTid {
+		ks := &l.byTid[i]
+		if ks.state.Load() == kvCached && ks.state.CompareAndSwap(kvCached, kvActive) {
+			return ks
+		}
+	}
+	return nil
+}
+
+// acquireSlow spins briefly, then parks until a release posts a wake
+// token. The waiter count is published before the final claim attempt
+// and release stores the cached state before checking the count, so a
+// racing release always observes the waiter — no lost wakeups.
+func (l *leaser) acquireSlow() *kvSession {
+	for i := 0; i < 32; i++ {
+		if ks := l.claim(); ks != nil {
+			return ks
+		}
+		runtime.Gosched()
+	}
+	l.waiters.Add(1)
+	defer l.waiters.Add(-1)
+	for {
+		if ks := l.claim(); ks != nil {
+			return ks
+		}
+		<-l.wake
+	}
+}
+
+func (l *leaser) release(ks *kvSession) {
+	ks.state.Store(kvCached)
+	l.cache.Put(ks)
+	if l.waiters.Load() > 0 {
+		select {
+		case l.wake <- struct{}{}:
+		default: // buffer full: enough pending tokens already
+		}
+	}
+}
+
+// InFlight returns the number of sessions held by operations currently
+// executing (active leases; idle cached sessions do not count). Zero at
+// quiescence — the network server's graceful shutdown asserts on it to
+// prove no batch bracket outlived the drain.
+func (l *leaser) InFlight() int {
+	n := 0
+	for i := range l.byTid {
+		if l.byTid[i].state.Load() == kvActive {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxThreads returns the concurrent-operation bound (the leased-tid
+// count, not a goroutine limit).
+func (l *leaser) MaxThreads() int { return l.pool.MaxThreads() }
+
+// Flush pushes pending reclamation to completion, best-effort. It
+// briefly leases every session (waiting out in-flight operations), so
+// it is expensive — meant for final accounting or idle housekeeping,
+// not the hot path. Like every KV operation it must not be called from
+// inside a Range callback: it waits for the callback's own lease.
+func (l *leaser) Flush() {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	held := make([]*kvSession, 0, l.pool.MaxThreads())
+	for len(held) < cap(held) {
+		held = append(held, l.acquire())
+	}
+	for _, ks := range held {
+		ks.s.Flush()
+	}
+	for _, ks := range held {
+		l.release(ks)
+	}
+}
