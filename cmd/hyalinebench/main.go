@@ -65,8 +65,10 @@ func run(args []string) error {
 		batch     = fs.Int("batch", 0, "single run: operations per lease+Enter/Leave bracket (0/1 = singleton ops)")
 		conns     = fs.Int("conns", 0, "single run: client/server mode — drive an in-process TCP server with this many closed-loop connections")
 		pipe      = fs.Int("pipeline", 0, "single run: requests kept in flight per connection (needs -conns; 0 = 1, singleton round trips)")
+		coalesce  = fs.Bool("coalesce", false, "single run: merge apply batches across connections (needs -conns)")
 		valsize   = fs.Int("valuesize", 0, "single run: bytes payload size — switches to []byte keys/values (bytes structures only, e.g. blist)")
 		snapshot  = fs.String("snapshot", "", "emit a JSON benchmark snapshot to stdout: kv (uint64 baseline) or bytes (payload twin)")
+		baseline  = fs.String("baseline", "", "compare the -snapshot run against this committed snapshot JSON; fail on a >25% ns/op regression")
 		slots     = fs.Int("slots", 0, "Hyaline slot cap k (0 = next pow2 of cores)")
 		prefill   = fs.Int("prefill", 50_000, "prefill element count")
 		keyrange  = fs.Uint64("keyrange", 100_000, "key universe size")
@@ -101,6 +103,10 @@ func run(args []string) error {
 		return fmt.Errorf("-pipeline %d: the pipeline depth cannot be negative", *pipe)
 	case *pipe > 0 && *conns == 0:
 		return fmt.Errorf("-pipeline %d without -conns: pipelining is a property of client connections (add -conns)", *pipe)
+	case *coalesce && *conns == 0:
+		return fmt.Errorf("-coalesce without -conns: coalescing merges apply batches across client connections (add -conns)")
+	case *baseline != "" && *snapshot == "":
+		return fmt.Errorf("-baseline %q without -snapshot: the regression gate compares snapshot runs", *baseline)
 	case *conns > 0 && (*sessions || *gor > 0):
 		return fmt.Errorf("-conns %d with -sessions/-goroutines: client/server mode manages its own goroutines", *conns)
 	case *conns > 0 && *batch > 0:
@@ -117,7 +123,7 @@ func run(args []string) error {
 	case *table1:
 		return printTable1()
 	case *snapshot != "":
-		return runSnapshot(*snapshot, *threads, *duration)
+		return runSnapshot(*snapshot, *threads, *duration, *baseline)
 	case *figure != "":
 		return runFigures(*figure, *duration, *threads, *prefill, *keyrange, *sweepCSV, *ascii)
 	case *structure != "" && *scheme != "":
@@ -127,6 +133,7 @@ func run(args []string) error {
 			rangePct: *rangePct, rangeSpan: *rangeSpan,
 			trim: *trim, sessions: *sessions, goroutines: *gor,
 			batch: *batch, conns: *conns, pipeline: *pipe,
+			coalesce:  *coalesce,
 			valueSize: *valsize,
 			slots:     *slots, prefill: *prefill,
 			keyrange: *keyrange, arenaCap: *arenaCap,
@@ -229,7 +236,7 @@ type singleConfig struct {
 	conns, pipeline, valueSize  int
 	rangeSpan, keyrange         uint64
 	duration                    time.Duration
-	trim, sessions              bool
+	trim, sessions, coalesce    bool
 }
 
 func runSingle(c singleConfig) error {
@@ -268,6 +275,7 @@ func runSingle(c singleConfig) error {
 		BatchSize:  c.batch,
 		Conns:      c.conns,
 		Pipeline:   c.pipeline,
+		Coalesce:   c.coalesce,
 		ValueSize:  c.valueSize,
 		Prefill:    c.prefill,
 		KeyRange:   c.keyrange,

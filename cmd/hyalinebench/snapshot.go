@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"hyaline/internal/bench"
@@ -71,8 +72,10 @@ func snapshotMatrix(kind string, threads int, duration time.Duration) ([]bench.C
 
 // runSnapshot executes the matrix and writes the JSON document to
 // stdout (progress rows go to stderr so redirection captures only the
-// document).
-func runSnapshot(kind string, threads int, duration time.Duration) error {
+// document). With a baseline path the run is also a regression gate:
+// each row is compared against the committed snapshot and the run
+// fails if any row got more than regressionTolerance slower.
+func runSnapshot(kind string, threads int, duration time.Duration, baseline string) error {
 	configs, err := snapshotMatrix(kind, threads, duration)
 	if err != nil {
 		return err
@@ -95,5 +98,94 @@ func runSnapshot(kind string, threads int, duration time.Duration) error {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if baseline != "" {
+		return compareBaseline(baseline, doc.Results)
+	}
+	return nil
+}
+
+// regressionTolerance is how much slower a row may run before the
+// -baseline gate fails. Snapshot rows are short single-machine runs,
+// so the gate is deliberately loose: it exists to catch a wrecked fast
+// path (2×, 10×), not a 5% wobble.
+const regressionTolerance = 0.25
+
+// baselineKey identifies comparable rows across snapshot runs: the same
+// workload shape on the same structure/scheme, independent of how fast
+// the host happened to be.
+type baselineKey struct {
+	Structure, Scheme, Workload string
+	BatchSize, ValueSize        int
+}
+
+// nsPerOp converts a row's throughput to nanoseconds per operation,
+// the unit regressions are judged in: 1 Mops/s is one op per
+// microsecond, i.e. 1000 ns/op.
+func nsPerOp(r bench.Result) float64 {
+	if r.ThroughputMops <= 0 {
+		return 0
+	}
+	return 1e3 / r.ThroughputMops
+}
+
+// compareBaseline matches the fresh rows against the committed
+// snapshot by baselineKey and fails on any row whose ns/op regressed
+// beyond the tolerance. Rows the baseline does not have (a freshly
+// extended matrix) are reported but not fatal — regenerate the
+// snapshot to start gating them.
+func compareBaseline(path string, results []bench.Result) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base snapshotDoc
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	ref := make(map[baselineKey]bench.Result, len(base.Results))
+	for _, r := range base.Results {
+		ref[key(r)] = r
+	}
+	var failures []string
+	for _, r := range results {
+		b, ok := ref[key(r)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "baseline: no row for %s/%s %s batch=%d vs=%d — regenerate %s to gate it\n",
+				r.Structure, r.Scheme, r.Workload, r.BatchSize, r.ValueSize, path)
+			continue
+		}
+		curNs, baseNs := nsPerOp(r), nsPerOp(b)
+		if curNs == 0 || baseNs == 0 {
+			failures = append(failures, fmt.Sprintf("%s/%s %s: throughput missing (cur=%.3f base=%.3f Mops/s)",
+				r.Structure, r.Scheme, r.Workload, r.ThroughputMops, b.ThroughputMops))
+			continue
+		}
+		delta := curNs/baseNs - 1
+		verdict := "ok"
+		if delta > regressionTolerance {
+			verdict = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s/%s %s batch=%d: %.1f ns/op -> %.1f ns/op (%+.1f%%)",
+				r.Structure, r.Scheme, r.Workload, r.BatchSize, baseNs, curNs, delta*100))
+		}
+		fmt.Fprintf(os.Stderr, "baseline %s/%s %-11s batch=%-3d %8.1f ns/op -> %8.1f ns/op (%+6.1f%%)  %s\n",
+			r.Structure, r.Scheme, r.Workload, r.BatchSize, baseNs, curNs, delta*100, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("baseline %s: %d row(s) regressed more than %.0f%%:\n  %s",
+			path, len(failures), regressionTolerance*100, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func key(r bench.Result) baselineKey {
+	return baselineKey{
+		Structure: r.Structure,
+		Scheme:    r.Scheme,
+		Workload:  r.Workload,
+		BatchSize: r.BatchSize,
+		ValueSize: r.ValueSize,
+	}
 }

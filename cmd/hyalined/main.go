@@ -17,6 +17,12 @@
 // GET/SET/DEL data ops become protocol errors on such a server, and
 // vice versa.
 //
+// With -coalesce the apply batches are merged across connections:
+// decoded runs from many connections share one session bracket under a
+// -coalescewindow latency budget, which is where the batching win comes
+// from when the clients are many and barely pipelined (pair with
+// hyalineload -seq for open-loop driving).
+//
 // The bound address is printed on startup (useful with port 0); drive it
 // with cmd/hyalineload. On SIGINT the server stops accepting, finishes
 // every in-flight pipeline window, writes the pending replies and exits,
@@ -58,6 +64,9 @@ func run(args []string) error {
 		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown budget before connections are closed forcibly")
 		bytesMode = fs.Bool("bytes", false, "serve []byte keys/values (GETB/SETB/DELB frames, blob slab heap)")
 		blobCap   = fs.Int("blobbudget", 1<<26, "per-size-class blob slab budget in bytes (-bytes only)")
+		coalesce  = fs.Bool("coalesce", false, "merge apply batches across connections (wins with many low-pipeline clients)")
+		coWindow  = fs.Duration("coalescewindow", server.DefaultCoalesceWindow, "latency budget a non-full coalesced batch waits for more runs (-coalesce only)")
+		writeTO   = fs.Duration("writetimeout", server.DefaultWriteTimeout, "per-Write reply deadline; a peer that stops reading is disconnected (negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,7 +93,13 @@ func run(args []string) error {
 		srv *server.Server
 	)
 	logger := log.New(os.Stderr, "hyalined: ", 0)
-	opts := server.Options{MaxPipeline: *pipeline, Logf: logger.Printf}
+	opts := server.Options{
+		MaxPipeline:    *pipeline,
+		Coalesce:       *coalesce,
+		CoalesceWindow: *coWindow,
+		WriteTimeout:   *writeTO,
+		Logf:           logger.Printf,
+	}
 	if *bytesMode {
 		st := *structure
 		if st == "hashmap" { // the uint64 default; bytes structures have their own
@@ -114,8 +129,8 @@ func run(args []string) error {
 		return err
 	}
 
-	logger.Printf("listening on %s (structure=%s scheme=%s threads=%d pipeline=%d bytes=%v)",
-		ln.Addr(), fr.Structure(), fr.Scheme(), fr.MaxThreads(), *pipeline, *bytesMode)
+	logger.Printf("listening on %s (structure=%s scheme=%s threads=%d pipeline=%d bytes=%v coalesce=%v)",
+		ln.Addr(), fr.Structure(), fr.Scheme(), fr.MaxThreads(), *pipeline, *bytesMode, *coalesce)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -23,6 +23,14 @@
 // Every GET hit is integrity-checked (SET writes key*31+7, so a hit
 // returning anything else means a reclamation bug corrupted the map) and
 // any ERR reply aborts the run.
+//
+// With -seq every connection negotiates sequence-id framing via HELLO
+// and tags each data request with a u32 seq the server echoes on the
+// reply. The generator then records one latency sample per request
+// (flush to that request's own reply) instead of one per pipeline
+// window, and verifies the echoed seqs arrive in request order — the
+// client-side check that cross-connection coalescing (hyalined
+// -coalesce) never reorders replies within a connection.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hyaline/internal/hist"
 	"hyaline/internal/protocol"
 )
 
@@ -148,6 +157,7 @@ func run(args []string) error {
 		prefill  = fs.Int("prefill", 0, "SETs to issue before measuring (warms the map for read mixes)")
 		useBytes = fs.Bool("bytes", false, "drive GETB/SETB/DELB against a hyalined -bytes server")
 		vsFlag   = fs.String("valuesize", "64", "value-size distribution for -bytes: N, MIN-MAX, or bimodal")
+		useSeq   = fs.Bool("seq", false, "negotiate seq framing (HELLO) and record per-request latency matched by seq echo")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -185,7 +195,7 @@ func run(args []string) error {
 		done    sync.WaitGroup
 		release = make(chan struct{})
 		ops     = make([]int64, *conns)
-		hists   = make([]hist, *conns)
+		hists   = make([]hist.Hist, *conns)
 		errOnce sync.Once
 		runErr  error
 	)
@@ -201,9 +211,9 @@ func run(args []string) error {
 			var n int64
 			var err error
 			if *useBytes {
-				n, err = driveBytes(*addr, i, *pipeline, m, *keyrange, vs, &stop, &started, release, &hists[i])
+				n, err = driveBytes(*addr, i, *pipeline, m, *keyrange, vs, *useSeq, &stop, &started, release, &hists[i])
 			} else {
-				n, err = drive(*addr, i, *pipeline, m, *keyrange, &stop, &started, release, &hists[i])
+				n, err = drive(*addr, i, *pipeline, m, *keyrange, *useSeq, &stop, &started, release, &hists[i])
 			}
 			ops[i] = n
 			if err != nil {
@@ -225,7 +235,7 @@ func run(args []string) error {
 	var total int64
 	agg := &hists[0]
 	for i := 1; i < *conns; i++ {
-		agg.merge(&hists[i])
+		agg.Merge(&hists[i])
 	}
 	for _, n := range ops {
 		total += n
@@ -234,20 +244,67 @@ func run(args []string) error {
 	if *useBytes {
 		family = "bytes valuesize=" + *vsFlag
 	}
-	fmt.Printf("hyalineload: addr=%s conns=%d pipeline=%d mix=%s payload=%s window=%v\n",
-		*addr, *conns, *pipeline, *mixFlag, family, elapsed.Round(time.Millisecond))
+	fmt.Printf("hyalineload: addr=%s conns=%d pipeline=%d mix=%s payload=%s seq=%v window=%v\n",
+		*addr, *conns, *pipeline, *mixFlag, family, *useSeq, elapsed.Round(time.Millisecond))
 	fmt.Printf("  client: ops=%d throughput=%.3f Mops/s\n",
 		total, float64(total)/elapsed.Seconds()/1e6)
-	fmt.Printf("  latency (per pipelined round trip): p50=%v p99=%v\n",
-		agg.quantile(0.50).Round(time.Microsecond), agg.quantile(0.99).Round(time.Microsecond))
+	latLabel := "per pipelined round trip"
+	if *useSeq {
+		latLabel = "per request, seq-matched"
+	}
+	fmt.Printf("  latency (%s): p50=%v p99=%v\n",
+		latLabel, agg.Quantile(0.50).Round(time.Microsecond), agg.Quantile(0.99).Round(time.Microsecond))
 
 	return printServerStats(*addr)
 }
 
+// negotiateSeq performs the HELLO handshake on a fresh connection and
+// fails unless the server accepts seq framing.
+func negotiateSeq(w *protocol.Writer, rd *protocol.Reader) error {
+	w.Hello(protocol.FlagSeq)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	f, err := rd.ReadFrame()
+	if err != nil {
+		return err
+	}
+	if protocol.Status(f.Code) != protocol.StatusOK {
+		return fmt.Errorf("HELLO rejected: %s", f.Payload)
+	}
+	accepted, err := protocol.ParseHello(f.Payload)
+	if err != nil {
+		return err
+	}
+	if accepted&protocol.FlagSeq == 0 {
+		return fmt.Errorf("server did not accept seq framing (flags %#x); is hyalined current?", accepted)
+	}
+	return nil
+}
+
+// checkSeqReply peels and verifies the echoed seq of one reply frame,
+// returning the payload that follows it. ERR replies are reported
+// as-is: the server never seq-prefixes them.
+func checkSeqReply(f protocol.Frame, want uint32) ([]byte, error) {
+	if protocol.Status(f.Code) == protocol.StatusErr {
+		return nil, fmt.Errorf("server error reply: %s", f.Payload)
+	}
+	got, rest, err := protocol.Seq(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if got != want {
+		return nil, fmt.Errorf("reply seq %d, want %d (replies reordered within a connection)", got, want)
+	}
+	return rest, nil
+}
+
 // drive is one closed-loop connection: write a window, read its replies,
-// repeat until stop. Returns the completed-op count.
-func drive(addr string, seed, pipeline int, m mix, keyrange uint64,
-	stop *atomic.Bool, started *sync.WaitGroup, release <-chan struct{}, h *hist) (int64, error) {
+// repeat until stop. Returns the completed-op count. With useSeq the
+// window is seq-framed and one latency sample is recorded per request
+// (flush to that reply) instead of per window.
+func drive(addr string, seed, pipeline int, m mix, keyrange uint64, useSeq bool,
+	stop *atomic.Bool, started *sync.WaitGroup, release <-chan struct{}, h *hist.Hist) (int64, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		started.Done()
@@ -260,13 +317,21 @@ func drive(addr string, seed, pipeline int, m mix, keyrange uint64,
 	rng := rand.New(rand.NewSource(int64(seed)*2654435761 + 1))
 	w := protocol.NewWriter(c)
 	rd := protocol.NewReader(c)
+	if useSeq {
+		if err := negotiateSeq(w, rd); err != nil {
+			started.Done()
+			return 0, err
+		}
+	}
 	keys := make([]uint64, pipeline)
 	kinds := make([]protocol.Op, pipeline)
 	started.Done()
 	<-release
 
 	ops := int64(0)
+	var seq uint32
 	for !stop.Load() {
+		base := seq
 		for p := 0; p < pipeline; p++ {
 			key := uint64(rng.Int63n(int64(keyrange)))
 			keys[p] = key
@@ -274,14 +339,27 @@ func drive(addr string, seed, pipeline int, m mix, keyrange uint64,
 			switch {
 			case roll < m.insertPct:
 				kinds[p] = protocol.OpSet
-				w.Set(key, key*31+7)
+				if useSeq {
+					w.SetSeq(seq, key, key*31+7)
+				} else {
+					w.Set(key, key*31+7)
+				}
 			case roll < m.insertPct+m.deletePct:
 				kinds[p] = protocol.OpDel
-				w.Del(key)
+				if useSeq {
+					w.DelSeq(seq, key)
+				} else {
+					w.Del(key)
+				}
 			default:
 				kinds[p] = protocol.OpGet
-				w.Get(key)
+				if useSeq {
+					w.GetSeq(seq, key)
+				} else {
+					w.Get(key)
+				}
 			}
+			seq++
 		}
 		t0 := time.Now()
 		if err := w.Flush(); err != nil {
@@ -292,10 +370,17 @@ func drive(addr string, seed, pipeline int, m mix, keyrange uint64,
 			if err != nil {
 				return ops, err
 			}
+			payload := f.Payload
+			if useSeq {
+				if payload, err = checkSeqReply(f, base+uint32(p)); err != nil {
+					return ops, err
+				}
+				h.Record(time.Since(t0))
+			}
 			switch protocol.Status(f.Code) {
 			case protocol.StatusOK:
 				if kinds[p] == protocol.OpGet {
-					v, err := protocol.U64(f.Payload)
+					v, err := protocol.U64(payload)
 					if err != nil {
 						return ops, err
 					}
@@ -309,7 +394,9 @@ func drive(addr string, seed, pipeline int, m mix, keyrange uint64,
 				return ops, fmt.Errorf("server error reply: %s", f.Payload)
 			}
 		}
-		h.record(time.Since(t0))
+		if !useSeq {
+			h.Record(time.Since(t0))
+		}
 		ops += int64(pipeline)
 	}
 	return ops, nil
@@ -321,8 +408,8 @@ func drive(addr string, seed, pipeline int, m mix, keyrange uint64,
 // value must be a run of the key's fill byte (any length the server may
 // have stored), so a reclamation bug that hands back a recycled or
 // poisoned blob is caught on the wire.
-func driveBytes(addr string, seed, pipeline int, m mix, keyrange uint64, vs vsDist,
-	stop *atomic.Bool, started *sync.WaitGroup, release <-chan struct{}, h *hist) (int64, error) {
+func driveBytes(addr string, seed, pipeline int, m mix, keyrange uint64, vs vsDist, useSeq bool,
+	stop *atomic.Bool, started *sync.WaitGroup, release <-chan struct{}, h *hist.Hist) (int64, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		started.Done()
@@ -335,6 +422,12 @@ func driveBytes(addr string, seed, pipeline int, m mix, keyrange uint64, vs vsDi
 	rng := rand.New(rand.NewSource(int64(seed)*2654435761 + 1))
 	w := protocol.NewWriter(c)
 	rd := protocol.NewReader(c)
+	if useSeq {
+		if err := negotiateSeq(w, rd); err != nil {
+			started.Done()
+			return 0, err
+		}
+	}
 	keys := make([]uint64, pipeline)
 	kinds := make([]protocol.Op, pipeline)
 	keyBuf := make([]byte, 8)
@@ -343,7 +436,9 @@ func driveBytes(addr string, seed, pipeline int, m mix, keyrange uint64, vs vsDi
 	<-release
 
 	ops := int64(0)
+	var seq uint32
 	for !stop.Load() {
+		base := seq
 		for p := 0; p < pipeline; p++ {
 			key := uint64(rng.Int63n(int64(keyrange)))
 			keys[p] = key
@@ -354,14 +449,27 @@ func driveBytes(addr string, seed, pipeline int, m mix, keyrange uint64, vs vsDi
 				kinds[p] = protocol.OpSetB
 				val := valBuf[:vs.sample(rng)]
 				fillValue(val, key)
-				w.SetB(keyBuf, val)
+				if useSeq {
+					w.SetBSeq(seq, keyBuf, val)
+				} else {
+					w.SetB(keyBuf, val)
+				}
 			case roll < m.insertPct+m.deletePct:
 				kinds[p] = protocol.OpDelB
-				w.DelB(keyBuf)
+				if useSeq {
+					w.DelBSeq(seq, keyBuf)
+				} else {
+					w.DelB(keyBuf)
+				}
 			default:
 				kinds[p] = protocol.OpGetB
-				w.GetB(keyBuf)
+				if useSeq {
+					w.GetBSeq(seq, keyBuf)
+				} else {
+					w.GetB(keyBuf)
+				}
 			}
+			seq++
 		}
 		t0 := time.Now()
 		if err := w.Flush(); err != nil {
@@ -372,10 +480,17 @@ func driveBytes(addr string, seed, pipeline int, m mix, keyrange uint64, vs vsDi
 			if err != nil {
 				return ops, err
 			}
+			payload := f.Payload
+			if useSeq {
+				if payload, err = checkSeqReply(f, base+uint32(p)); err != nil {
+					return ops, err
+				}
+				h.Record(time.Since(t0))
+			}
 			switch protocol.Status(f.Code) {
 			case protocol.StatusOK:
 				if kinds[p] == protocol.OpGetB {
-					if err := checkValue(f.Payload, keys[p]); err != nil {
+					if err := checkValue(payload, keys[p]); err != nil {
 						return ops, err
 					}
 				}
@@ -385,7 +500,9 @@ func driveBytes(addr string, seed, pipeline int, m mix, keyrange uint64, vs vsDi
 				return ops, fmt.Errorf("server error reply: %s", f.Payload)
 			}
 		}
-		h.record(time.Since(t0))
+		if !useSeq {
+			h.Record(time.Since(t0))
+		}
 		ops += int64(pipeline)
 	}
 	return ops, nil

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+// TestParseMix: named mixes, strict custom percentages, and rejection
+// of garbage (including trailing junk a lenient scanner would accept).
+func TestParseMix(t *testing.T) {
+	good := map[string]mix{
+		"write":       {50, 50},
+		"read":        {5, 5},
+		"20/20/60":    {20, 20},
+		"0/0/100":     {0, 0},
+		" 10/ 10/ 80": {10, 10},
+	}
+	for in, want := range good {
+		got, err := parseMix(in)
+		if err != nil || got != want {
+			t.Errorf("parseMix(%q) = %+v, %v; want %+v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{
+		"", "writeish", "20/20", "20/20/60/0", "20x/20/60", "0x14/20/60",
+		"-10/50/60", "40/40/40", "33/33/33",
+	} {
+		if _, err := parseMix(in); err == nil {
+			t.Errorf("parseMix(%q) accepted garbage", in)
+		}
+	}
+}

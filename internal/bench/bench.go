@@ -114,6 +114,13 @@ type Config struct {
 	// flight per round trip in client/server mode (1 = singleton
 	// request/reply). Ignored unless Conns > 0.
 	Pipeline int
+	// Coalesce enables cross-connection apply coalescing in client/server
+	// mode (server.Options.Coalesce): runs from many connections merge
+	// into shared kv.Apply batches. Requires Conns > 0.
+	Coalesce bool
+	// CoalesceWindow is the coalescer's latency budget (0 = the server
+	// default). Ignored unless Coalesce is set.
+	CoalesceWindow time.Duration
 	// Pin locks workers to OS threads, approximating the paper's pthread
 	// pinning.
 	Pin bool
@@ -196,9 +203,10 @@ type Result struct {
 	// BatchSize is the operations-per-bracket grouping (1 = singleton).
 	BatchSize int
 	// Conns and Pipeline echo the client/server configuration (0 when
-	// the run used in-process workers).
+	// the run used in-process workers); Coalesce echoes the apply mode.
 	Conns    int
 	Pipeline int
+	Coalesce bool
 	// ValueSize is the bytes-run value size (0 = uint64 payloads).
 	ValueSize int
 	Workload  string
@@ -209,6 +217,17 @@ type Result struct {
 	ThroughputMops float64 // million operations per second
 	AvgUnreclaimed float64 // time-averaged retired-but-not-freed nodes
 	MaxUnreclaimed int64
+	// Batches is the number of kv.Apply batches the server issued
+	// (client/server mode only): Ops/Batches is the amortization factor
+	// coalescing buys.
+	Batches int64
+	// P50 and P99 are client-observed round-trip latency quantiles
+	// (client/server mode only; one sample per pipeline window).
+	P50, P99 time.Duration
+	// PeakGoroutines samples the process-wide goroutine high-water mark
+	// during a client/server run: conns × (client + reader + writer)
+	// plus the runtime, the scaling cost the conns sweep exists to show.
+	PeakGoroutines int
 	FinalStats     smr.Stats
 }
 
@@ -224,7 +243,21 @@ func (r Result) String() string {
 		row += fmt.Sprintf("  batch=%d", r.BatchSize)
 	}
 	if r.Conns > 0 {
-		row += fmt.Sprintf("  serve(conns=%d pipe=%d)", r.Conns, r.Pipeline)
+		mode := "perconn"
+		if r.Coalesce {
+			mode = "coalesced"
+		}
+		row += fmt.Sprintf("  serve(conns=%d pipe=%d %s", r.Conns, r.Pipeline, mode)
+		if r.Batches > 0 {
+			row += fmt.Sprintf(" ops/batch=%.1f", float64(r.Ops)/float64(r.Batches))
+		}
+		if r.P99 > 0 {
+			row += fmt.Sprintf(" p50=%v p99=%v", r.P50, r.P99)
+		}
+		if r.PeakGoroutines > 0 {
+			row += fmt.Sprintf(" gor=%d", r.PeakGoroutines)
+		}
+		row += ")"
 	}
 	if r.ValueSize > 0 {
 		row += fmt.Sprintf("  bytes(valuesize=%d)", r.ValueSize)
@@ -267,6 +300,9 @@ func Run(cfg Config) (Result, error) {
 			return Result{}, fmt.Errorf("bench: client/server mode needs the serve runner; import hyaline/internal/server for side effects")
 		}
 		return serveRun(cfg)
+	}
+	if cfg.Coalesce {
+		return Result{}, fmt.Errorf("bench: coalescing is a serving-layer mode; it needs Conns > 0")
 	}
 	total := cfg.Threads + cfg.Stalled
 	tcfg := cfg.Tracker

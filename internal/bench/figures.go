@@ -42,6 +42,9 @@ type Curve struct {
 	// Pipeline is the per-connection in-flight request depth for the
 	// client/server figures (sweep "conns"); 0 elsewhere.
 	Pipeline int
+	// Coalesce runs this curve's server with cross-connection apply
+	// coalescing (sweep "conns" only).
+	Coalesce bool
 	// Structure overrides the figure's structure for this curve (empty =
 	// inherit). The payload-comparison figures use it to put the uint64
 	// structure and its bytes twin on the same axes.
@@ -67,6 +70,11 @@ type Figure struct {
 	// Sweep is the x-axis: "threads", "stalled" or "conns" (client/
 	// server mode: x is the loopback connection count).
 	Sweep string
+	// Xs overrides the sweep's default x values for this figure (the
+	// explicit RunOptions.Xs still wins). Figures whose interesting
+	// regime is not the default sweep — figure 25's march toward
+	// thousands of connections — pin their points here.
+	Xs []int
 	// Curves lists the series.
 	Curves []Curve
 }
@@ -275,6 +283,34 @@ func AllFigures() []Figure {
 		Sweep:     "threads",
 		Curves:    payloadCurves(64),
 	})
+	// Figure 25 is a reproduction extension: cross-connection apply
+	// coalescing. Every connection is a singleton-pipeline client — the
+	// worst case for per-connection batching, since each op pays a full
+	// session bracket — swept toward thousands of connections. The
+	// coalesced curves merge those singleton runs into shared kv.Apply
+	// batches under the 50µs default window; the per-connection curves
+	// are the PR-5 baseline. Results carry ops/batch, p99 round-trip
+	// latency and the goroutine high-water mark (2 server goroutines per
+	// connection), so the table shows what coalescing buys and what the
+	// goroutine-pair model costs at the 1k–4k scale the ROADMAP's
+	// event-driven-poller item targets.
+	var coalesceCurves []Curve
+	for _, s := range []string{"hyaline", "epoch"} {
+		coalesceCurves = append(coalesceCurves,
+			Curve{Label: s + "-perconn", Scheme: s, Pipeline: 1},
+			Curve{Label: s + "-coalesced", Scheme: s, Pipeline: 1, Coalesce: true},
+		)
+	}
+	figs = append(figs, Figure{
+		ID:        "25",
+		Caption:   "x86-64: hashmap served throughput from singleton-pipeline connections, per-connection vs coalesced apply (reproduction extension)",
+		Structure: "hashmap",
+		Workload:  WriteHeavy,
+		Metric:    "throughput",
+		Sweep:     "conns",
+		Xs:        []int{1, 8, 64, 256, 1024, 4096},
+		Curves:    coalesceCurves,
+	})
 	return figs
 }
 
@@ -378,6 +414,9 @@ func (f Figure) Run(opts RunOptions) (Table, error) {
 	}
 	xs := opts.Xs
 	if len(xs) == 0 {
+		xs = f.Xs
+	}
+	if len(xs) == 0 {
 		switch f.Sweep {
 		case "stalled":
 			xs = DefaultStallSweep(opts.ActiveThreads)
@@ -418,6 +457,7 @@ func (f Figure) Run(opts RunOptions) (Table, error) {
 				cfg.Threads = opts.ActiveThreads
 				cfg.Conns = x
 				cfg.Pipeline = curve.Pipeline
+				cfg.Coalesce = curve.Coalesce
 			default:
 				cfg.Threads = x
 			}

@@ -130,6 +130,22 @@ func SupportsBytes(structure, scheme string) bool {
 	return !bytesRegistry[structure].excluded[scheme]
 }
 
+// ValidateBytes returns a descriptive error when the named bytes
+// structure is unknown or cannot run under the named scheme, nil
+// otherwise. Unlike SupportsBytes it rejects unknown structures, so a
+// constructor can refuse a bad combination before committing any
+// resources to it.
+func ValidateBytes(structure, scheme string) error {
+	e, ok := bytesRegistry[structure]
+	if !ok {
+		return fmt.Errorf("ds: unknown bytes structure %q (known: %v)", structure, BytesNames())
+	}
+	if e.excluded[scheme] {
+		return fmt.Errorf("ds: bytes structure %q does not support scheme %q", structure, scheme)
+	}
+	return nil
+}
+
 // NewBytes constructs the named bytes structure over a and tr. The arena
 // must have blobs enabled.
 func NewBytes(structure string, a *arena.Arena, tr smr.Tracker, maxThreads int) (BytesMap, error) {

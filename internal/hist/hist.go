@@ -1,4 +1,11 @@
-package main
+// Package hist is a fixed-size log-linear latency histogram shared by
+// the load generator (cmd/hyalineload) and the serve-mode benchmark
+// harness (internal/server's bench runner): values below 16ns are
+// stored exactly, larger values in 8 linear sub-buckets per
+// power-of-two row, giving ~6.25% worst-case relative error per bucket
+// — plenty for p50/p99 of round-trip times, with fixed memory and no
+// allocation on the record path.
+package hist
 
 import (
 	"math"
@@ -6,24 +13,22 @@ import (
 	"time"
 )
 
-// histBuckets is the dense bucket count: 16 exact buckets for values
+// numBuckets is the dense bucket count: 16 exact buckets for values
 // 0..15, then 60 exponent rows (top bit 4..63) of 8 linear sub-buckets.
 // The highest value, 1<<64-1, lands in bucket 15 + 60*8 = 495.
-const histBuckets = 16 + 60*8
+const numBuckets = 16 + 60*8
 
-// hist is a log-linear latency histogram over nanoseconds: values below
-// 16 are stored exactly, larger values in 8 linear sub-buckets per
-// power-of-two row, giving ~6.25% worst-case relative error per bucket —
-// plenty for p50/p99 of round-trip times, with fixed memory and no
-// allocation on the record path.
-type hist struct {
+// Hist accumulates nanosecond durations. The zero value is ready to
+// use. Not safe for concurrent use: give each worker its own Hist and
+// Merge at the end.
+type Hist struct {
 	count   int64
-	buckets [histBuckets]int64
+	buckets [numBuckets]int64
 }
 
 // bucketOf maps a nanosecond value to its bucket index. The index is
 // monotone in v and the bucket space is dense: every index below
-// histBuckets is reachable.
+// numBuckets is reachable.
 func bucketOf(v uint64) int {
 	if v < 16 {
 		return int(v) // exact
@@ -46,23 +51,28 @@ func bucketMid(i int) uint64 {
 	return lo + uint64(1)<<uint(exp-4)/2
 }
 
-func (h *hist) record(d time.Duration) {
+// Record adds one sample.
+func (h *Hist) Record(d time.Duration) {
 	h.buckets[bucketOf(uint64(d.Nanoseconds()))]++
 	h.count++
 }
 
-func (h *hist) merge(o *hist) {
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.count }
+
+// Merge folds o into h.
+func (h *Hist) Merge(o *Hist) {
 	h.count += o.count
 	for i := range h.buckets {
 		h.buckets[i] += o.buckets[i]
 	}
 }
 
-// quantile returns the approximate q-quantile — the midpoint of the
+// Quantile returns the approximate q-quantile — the midpoint of the
 // bucket holding the sample at rank ⌈q·n⌉ — or 0 when the histogram is
 // empty. The rank is clamped to [1, n], so q<=0 degrades to the minimum
 // and q>=1 to the maximum.
-func (h *hist) quantile(q float64) time.Duration {
+func (h *Hist) Quantile(q float64) time.Duration {
 	if h.count == 0 {
 		return 0
 	}

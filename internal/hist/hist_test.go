@@ -1,4 +1,4 @@
-package main
+package hist
 
 import (
 	"math"
@@ -11,15 +11,15 @@ import (
 // TestHistQuantile: quantiles of a known uniform distribution land
 // within the histogram's log-linear bucket error (~9% relative).
 func TestHistQuantile(t *testing.T) {
-	var h hist
+	var h Hist
 	rng := rand.New(rand.NewSource(1))
 	const n = 200_000
 	for i := 0; i < n; i++ {
 		// Uniform 1µs..1ms.
-		h.record(time.Duration(1_000 + rng.Int63n(999_000)))
+		h.Record(time.Duration(1_000 + rng.Int63n(999_000)))
 	}
-	if h.count != n {
-		t.Fatalf("count=%d, want %d", h.count, n)
+	if h.Count() != n {
+		t.Fatalf("count=%d, want %d", h.Count(), n)
 	}
 	checks := []struct {
 		q    float64
@@ -29,7 +29,7 @@ func TestHistQuantile(t *testing.T) {
 		{0.99, 990 * time.Microsecond},
 	}
 	for _, c := range checks {
-		got := h.quantile(c.q)
+		got := h.Quantile(c.q)
 		lo := time.Duration(float64(c.want) * 0.85)
 		hi := time.Duration(float64(c.want) * 1.15)
 		if got < lo || got > hi {
@@ -41,17 +41,17 @@ func TestHistQuantile(t *testing.T) {
 // TestHistQuantileMonotonic: quantiles never decrease in q, whatever
 // the distribution.
 func TestHistQuantileMonotonic(t *testing.T) {
-	var h hist
+	var h Hist
 	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < 10_000; i++ {
 		// Log-uniform 1ns..~1s: exercises many exponent rows.
-		h.record(time.Duration(1 << rng.Intn(30)))
+		h.Record(time.Duration(1 << rng.Intn(30)))
 	}
 	prev := time.Duration(0)
 	for q := 0.01; q <= 1.0; q += 0.01 {
-		cur := h.quantile(q)
+		cur := h.Quantile(q)
 		if cur < prev {
-			t.Fatalf("quantile(%.2f)=%v < quantile(prev)=%v", q, cur, prev)
+			t.Fatalf("Quantile(%.2f)=%v < Quantile(prev)=%v", q, cur, prev)
 		}
 		prev = cur
 	}
@@ -60,18 +60,18 @@ func TestHistQuantileMonotonic(t *testing.T) {
 // TestHistMergeAndEmpty: merge sums counts; an empty histogram reports
 // zero quantiles.
 func TestHistMergeAndEmpty(t *testing.T) {
-	var empty hist
-	if got := empty.quantile(0.99); got != 0 {
+	var empty Hist
+	if got := empty.Quantile(0.99); got != 0 {
 		t.Fatalf("empty quantile = %v", got)
 	}
-	var a, b hist
-	a.record(time.Microsecond)
-	b.record(time.Millisecond)
-	a.merge(&b)
-	if a.count != 2 {
-		t.Fatalf("merged count=%d", a.count)
+	var a, b Hist
+	a.Record(time.Microsecond)
+	b.Record(time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 {
+		t.Fatalf("merged count=%d", a.Count())
 	}
-	if p99 := a.quantile(0.99); p99 < 500*time.Microsecond {
+	if p99 := a.Quantile(0.99); p99 < 500*time.Microsecond {
 		t.Fatalf("merged p99=%v, want ~1ms", p99)
 	}
 }
@@ -80,7 +80,7 @@ func TestHistMergeAndEmpty(t *testing.T) {
 // bucket — the decode side of the histogram is consistent with the
 // encode side. The index space is dense, so no bucket is exempt.
 func TestBucketRoundTrip(t *testing.T) {
-	for i := 0; i < histBuckets; i++ {
+	for i := 0; i < numBuckets; i++ {
 		mid := bucketMid(i)
 		if got := bucketOf(mid); got != i {
 			t.Fatalf("bucketOf(bucketMid(%d)=%d) = %d", i, mid, got)
@@ -93,7 +93,7 @@ func TestBucketRoundTrip(t *testing.T) {
 		if i < prev {
 			t.Fatalf("bucketOf(%d)=%d < previous index %d", v, i, prev)
 		}
-		if i >= histBuckets {
+		if i >= numBuckets {
 			t.Fatalf("bucketOf(%d)=%d out of range", v, i)
 		}
 		prev = i
@@ -139,11 +139,11 @@ func TestHistQuantileExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	quantiles := []float64{0.01, 0.5, 0.99, 1.0}
 	for _, n := range []int{1, 2, 3, 5, 10, 100, 1000} {
-		var h hist
+		var h Hist
 		samples := make([]uint64, n)
 		for i := range samples {
 			samples[i] = uint64(rng.Int63n(1_000_000_000))
-			h.record(time.Duration(samples[i]))
+			h.Record(time.Duration(samples[i]))
 		}
 		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 		for _, q := range quantiles {
@@ -152,7 +152,7 @@ func TestHistQuantileExact(t *testing.T) {
 				rank = 1
 			}
 			exact := samples[rank-1]
-			got := uint64(h.quantile(q))
+			got := uint64(h.Quantile(q))
 			// The histogram answer must be the midpoint of the exact
 			// sample's own bucket.
 			if want := bucketMid(bucketOf(exact)); got != want {
@@ -161,41 +161,15 @@ func TestHistQuantileExact(t *testing.T) {
 		}
 	}
 	// Degenerate q values clamp instead of running off either end.
-	var h hist
-	h.record(5 * time.Millisecond)
-	h.record(7 * time.Millisecond)
+	var h Hist
+	h.Record(5 * time.Millisecond)
+	h.Record(7 * time.Millisecond)
 	min := bucketMid(bucketOf(uint64(5 * time.Millisecond)))
 	max := bucketMid(bucketOf(uint64(7 * time.Millisecond)))
-	if got := uint64(h.quantile(-0.5)); got != min {
-		t.Fatalf("quantile(-0.5)=%d, want min %d", got, min)
+	if got := uint64(h.Quantile(-0.5)); got != min {
+		t.Fatalf("Quantile(-0.5)=%d, want min %d", got, min)
 	}
-	if got := uint64(h.quantile(2.0)); got != max {
-		t.Fatalf("quantile(2.0)=%d, want max %d", got, max)
-	}
-}
-
-// TestParseMix: named mixes, strict custom percentages, and rejection
-// of garbage (including trailing junk a lenient scanner would accept).
-func TestParseMix(t *testing.T) {
-	good := map[string]mix{
-		"write":       {50, 50},
-		"read":        {5, 5},
-		"20/20/60":    {20, 20},
-		"0/0/100":     {0, 0},
-		" 10/ 10/ 80": {10, 10},
-	}
-	for in, want := range good {
-		got, err := parseMix(in)
-		if err != nil || got != want {
-			t.Errorf("parseMix(%q) = %+v, %v; want %+v", in, got, err, want)
-		}
-	}
-	for _, in := range []string{
-		"", "writeish", "20/20", "20/20/60/0", "20x/20/60", "0x14/20/60",
-		"-10/50/60", "40/40/40", "33/33/33",
-	} {
-		if _, err := parseMix(in); err == nil {
-			t.Errorf("parseMix(%q) accepted garbage", in)
-		}
+	if got := uint64(h.Quantile(2.0)); got != max {
+		t.Fatalf("Quantile(2.0)=%d, want max %d", got, max)
 	}
 }

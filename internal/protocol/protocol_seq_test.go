@@ -1,0 +1,204 @@
+package protocol
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// TestHelloRoundTrip: the HELLO request and its reply carry the flags
+// byte both ways, and validate like any meta command.
+func TestHelloRoundTrip(t *testing.T) {
+	b := AppendHello(nil, FlagSeq)
+	rd := NewReader(bytes.NewReader(b))
+	f, err := rd.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Op(f.Code) != OpHello {
+		t.Fatalf("code %#x, want HELLO", f.Code)
+	}
+	if err := ValidateRequest(OpHello, f.Payload); err != nil {
+		t.Fatal(err)
+	}
+	flags, err := ParseHello(f.Payload)
+	if err != nil || flags != FlagSeq {
+		t.Fatalf("ParseHello = %#x, %v", flags, err)
+	}
+	if _, err := ParseHello([]byte{1, 2}); err == nil {
+		t.Fatal("ParseHello accepted a 2-byte payload")
+	}
+
+	reply := AppendHelloReply(nil, FlagSeq)
+	rd = NewReader(bytes.NewReader(reply))
+	f, err = rd.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Status(f.Code) != StatusOK || len(f.Payload) != 1 || f.Payload[0] != FlagSeq {
+		t.Fatalf("HELLO reply code %#x payload %v", f.Code, f.Payload)
+	}
+}
+
+// TestSeqSplit: Seq peels the u32 prefix and returns the rest aliasing
+// the input; short payloads are errors, not panics.
+func TestSeqSplit(t *testing.T) {
+	p := appendSeq(nil, 0xdeadbeef)
+	p = append(p, 1, 2, 3)
+	seq, rest, err := Seq(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 0xdeadbeef {
+		t.Fatalf("seq = %#x", seq)
+	}
+	if len(rest) != 3 || &rest[0] != &p[SeqSize] {
+		t.Fatalf("rest %v does not alias the input payload", rest)
+	}
+	for n := 0; n < SeqSize; n++ {
+		if _, _, err := Seq(make([]byte, n)); err == nil {
+			t.Fatalf("Seq accepted %d-byte payload", n)
+		}
+	}
+}
+
+// TestSeqRequestRoundTrip: every SEQ request variant carries its seq and
+// then validates and decodes exactly like the unsequenced form.
+func TestSeqRequestRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendGetSeq(b, 1, 101)
+	b = AppendSetSeq(b, 2, 102, 202)
+	b = AppendDelSeq(b, 3, 103)
+	b = AppendGetBSeq(b, 4, []byte("k4"))
+	b = AppendSetBSeq(b, 5, []byte("k5"), []byte("v5"))
+	b = AppendDelBSeq(b, 6, []byte("k6"))
+
+	rd := NewReader(bytes.NewReader(b))
+	next := func(wantOp Op, wantSeq uint32) []byte {
+		t.Helper()
+		f, err := rd.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Op(f.Code) != wantOp {
+			t.Fatalf("code %#x, want %v", f.Code, wantOp)
+		}
+		seq, rest, err := Seq(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != wantSeq {
+			t.Fatalf("seq %d, want %d", seq, wantSeq)
+		}
+		if err := ValidateRequest(wantOp, rest); err != nil {
+			t.Fatal(err)
+		}
+		return rest
+	}
+
+	if key, _ := U64(next(OpGet, 1)); key != 101 {
+		t.Fatalf("GET key %d", key)
+	}
+	if key, val, _ := KeyVal(next(OpSet, 2)); key != 102 || val != 202 {
+		t.Fatalf("SET %d/%d", key, val)
+	}
+	if key, _ := U64(next(OpDel, 3)); key != 103 {
+		t.Fatalf("DEL key %d", key)
+	}
+	if key, _ := KeyB(next(OpGetB, 4)); string(key) != "k4" {
+		t.Fatalf("GETB key %q", key)
+	}
+	if key, val, _ := KeyValB(next(OpSetB, 5)); string(key) != "k5" || string(val) != "v5" {
+		t.Fatalf("SETB %q/%q", key, val)
+	}
+	if key, _ := KeyB(next(OpDelB, 6)); string(key) != "k6" {
+		t.Fatalf("DELB key %q", key)
+	}
+}
+
+// TestSeqReplyRoundTrip: every SEQ reply variant echoes the seq ahead of
+// the unsequenced payload.
+func TestSeqReplyRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendOKSeq(b, 7)
+	b = AppendNilSeq(b, 8)
+	b = AppendValueSeq(b, 9, 999)
+	b = AppendValueBSeq(b, 10, []byte("hello"))
+
+	rd := NewReader(bytes.NewReader(b))
+	next := func(wantStatus Status, wantSeq uint32) []byte {
+		t.Helper()
+		f, err := rd.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Status(f.Code) != wantStatus {
+			t.Fatalf("status %#x, want %v", f.Code, wantStatus)
+		}
+		seq, rest, err := Seq(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != wantSeq {
+			t.Fatalf("seq %d, want %d", seq, wantSeq)
+		}
+		return rest
+	}
+
+	if rest := next(StatusOK, 7); len(rest) != 0 {
+		t.Fatalf("OK rest %v", rest)
+	}
+	if rest := next(StatusNil, 8); len(rest) != 0 {
+		t.Fatalf("NIL rest %v", rest)
+	}
+	if v, err := U64(next(StatusOK, 9)); err != nil || v != 999 {
+		t.Fatalf("VALUE %d, %v", v, err)
+	}
+	if rest := next(StatusOK, 10); string(rest) != "hello" {
+		t.Fatalf("VALUEB %q", rest)
+	}
+}
+
+// TestAppendErrRuneBoundary: truncation at errMsgCap backs up to a rune
+// boundary instead of splitting a multi-byte sequence — the capped
+// message stays valid UTF-8 whatever the input alignment.
+func TestAppendErrRuneBoundary(t *testing.T) {
+	// Slide a 3-byte rune across the cap boundary: some alignment puts
+	// the boundary mid-rune.
+	for pad := 0; pad < 4; pad++ {
+		msg := strings.Repeat("x", errMsgCap-8+pad) + strings.Repeat("日", 8) // 日 = 3 bytes
+		b := AppendErr(nil, msg)
+		rd := NewReader(bytes.NewReader(b))
+		f, err := rd.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Payload) > errMsgCap {
+			t.Fatalf("pad %d: payload %d bytes exceeds cap", pad, len(f.Payload))
+		}
+		if !utf8.Valid(f.Payload) {
+			t.Fatalf("pad %d: truncated payload is not valid UTF-8: %q", pad, f.Payload)
+		}
+		if !strings.HasPrefix(msg, string(f.Payload)) {
+			t.Fatalf("pad %d: payload %q is not a prefix of the message", pad, f.Payload)
+		}
+		if len(f.Payload) < errMsgCap-utf8.UTFMax {
+			t.Fatalf("pad %d: payload %d bytes, backed up more than one rune", pad, len(f.Payload))
+		}
+	}
+	// Pure ASCII still fills the cap exactly.
+	b := AppendErr(nil, strings.Repeat("e", errMsgCap+50))
+	rd := NewReader(bytes.NewReader(b))
+	f, err := rd.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Payload) != errMsgCap {
+		t.Fatalf("ASCII payload %d bytes, want %d", len(f.Payload), errMsgCap)
+	}
+	// Short messages pass through untouched.
+	if got := AppendErr(nil, "boom"); string(got[HeaderSize:]) != "boom" {
+		t.Fatalf("short message mangled: %q", got)
+	}
+}

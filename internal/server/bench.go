@@ -12,12 +12,14 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hyaline"
 	"hyaline/internal/bench"
+	"hyaline/internal/hist"
 	"hyaline/internal/protocol"
 )
 
@@ -44,7 +46,10 @@ func RunBench(cfg bench.Config) (bench.Result, error) {
 	if err != nil {
 		return bench.Result{}, err
 	}
-	srv := New(kv, Options{})
+	srv := New(kv, Options{
+		Coalesce:       cfg.Coalesce,
+		CoalesceWindow: cfg.CoalesceWindow,
+	})
 	go srv.Serve(ln)
 
 	var (
@@ -53,6 +58,7 @@ func RunBench(cfg bench.Config) (bench.Result, error) {
 		done    sync.WaitGroup
 		release = make(chan struct{})
 		counts  = make([]paddedCount, cfg.Conns)
+		hists   = make([]hist.Hist, cfg.Conns)
 		errOnce sync.Once
 		runErr  error
 		failed  = make(chan struct{})
@@ -85,6 +91,7 @@ func RunBench(cfg bench.Config) (bench.Result, error) {
 			started.Done()
 			<-release
 			ops := int64(0)
+			h := &hists[i]
 			for !stop.Load() {
 				for p := 0; p < cfg.Pipeline; p++ {
 					key := uint64(rng.Int63n(int64(cfg.KeyRange)))
@@ -98,6 +105,7 @@ func RunBench(cfg bench.Config) (bench.Result, error) {
 						w.Get(key)
 					}
 				}
+				t0 := time.Now()
 				if err := w.Flush(); err != nil {
 					fail(err)
 					return
@@ -113,6 +121,10 @@ func RunBench(cfg bench.Config) (bench.Result, error) {
 						return
 					}
 				}
+				// One sample per window: flush-to-last-reply round trip,
+				// which is what a closed-loop client experiences (and
+				// where the coalescing window's latency cost shows up).
+				h.Record(time.Since(t0))
 				ops += int64(cfg.Pipeline)
 			}
 			counts[i].v.Store(ops)
@@ -127,6 +139,7 @@ func RunBench(cfg bench.Config) (bench.Result, error) {
 		samples int64
 		sumUn   float64
 		maxUn   int64
+		peakGor int
 	)
 	ticker := time.NewTicker(5 * time.Millisecond)
 	deadline := time.After(cfg.Duration)
@@ -139,6 +152,9 @@ sampling:
 			samples++
 			if un > maxUn {
 				maxUn = un
+			}
+			if g := runtime.NumGoroutine(); g > peakGor {
+				peakGor = g
 			}
 		case <-failed:
 			break sampling // a dead point must not burn the whole window
@@ -163,22 +179,32 @@ sampling:
 	for i := range counts {
 		ops += counts[i].v.Load()
 	}
+	var lat hist.Hist
+	for i := range hists {
+		lat.Merge(&hists[i])
+	}
 	avg := 0.0
 	if samples > 0 {
 		avg = sumUn / float64(samples)
 	}
+	_, _, _, batches := srv.Counters()
 	return bench.Result{
 		Structure:      cfg.Structure,
 		Scheme:         cfg.Scheme,
 		Threads:        cfg.Threads,
 		Conns:          cfg.Conns,
 		Pipeline:       cfg.Pipeline,
+		Coalesce:       cfg.Coalesce,
 		Workload:       cfg.Workload.Name(),
 		Duration:       elapsed,
 		Ops:            ops,
 		ThroughputMops: float64(ops) / elapsed.Seconds() / 1e6,
 		AvgUnreclaimed: avg,
 		MaxUnreclaimed: maxUn,
+		Batches:        batches,
+		P50:            lat.Quantile(0.50),
+		P99:            lat.Quantile(0.99),
+		PeakGoroutines: peakGor,
 		FinalStats:     kv.Stats(),
 	}, nil
 }

@@ -1,0 +1,234 @@
+// coalesce.go is the cross-connection apply coalescer: instead of each
+// reader goroutine issuing its own kv.Apply, readers submit their
+// decoded runs to a small set of sharded apply workers that merge runs
+// from many connections into one batch under a latency budget. One
+// session lease and one Enter/Leave bracket then serve requests from
+// dozens of connections — the batching amortization that per-connection
+// pipelining only buys from clients that pipeline, extended to fleets
+// of singleton clients.
+//
+// A batch ships as soon as it holds Options.MaxPipeline operations, or
+// when Options.CoalesceWindow expires with the batch non-empty; a lone
+// run on an idle shard therefore waits at most one window. Each
+// connection's results are routed back to its reader, which encodes the
+// replies in its own request order — coalescing changes when a run is
+// applied, never the order of replies within a connection.
+package server
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyaline"
+)
+
+// coQueue is each shard's submission queue depth. Submitting readers
+// block when it fills: backpressure toward the sockets, exactly like a
+// busy KV would exert, never an unbounded queue.
+const coQueue = 256
+
+// coalescer fans decoded runs from all connections into per-shard apply
+// workers. Connections are assigned a shard round-robin at accept; a
+// worker owns its flat batch buffers, so the apply path allocates
+// nothing in steady state.
+type coalescer struct {
+	srv      *Server
+	window   time.Duration
+	maxBatch int
+	shards   []coShard
+	next     atomic.Uint32
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	once     sync.Once
+}
+
+type coShard struct {
+	ch chan *conn
+	// Pad so two shards' queues do not share a cache line under the
+	// submit fan-in.
+	_ [56]byte
+}
+
+func defaultCoalesceShards() int {
+	n := runtime.GOMAXPROCS(0) / 2
+	if n < 1 {
+		n = 1
+	}
+	if n > 4 {
+		n = 4
+	}
+	return n
+}
+
+func newCoalescer(s *Server, opts Options) *coalescer {
+	window := opts.CoalesceWindow
+	if window == 0 {
+		window = DefaultCoalesceWindow
+	}
+	if window < 0 {
+		window = 0 // merge only what is already queued; never wait
+	}
+	shards := opts.CoalesceShards
+	if shards <= 0 {
+		shards = defaultCoalesceShards()
+	}
+	co := &coalescer{
+		srv:      s,
+		window:   window,
+		maxBatch: s.maxPipeline,
+		shards:   make([]coShard, shards),
+		stop:     make(chan struct{}),
+	}
+	for i := range co.shards {
+		co.shards[i].ch = make(chan *conn, coQueue)
+		co.wg.Add(1)
+		go co.run(&co.shards[i])
+	}
+	return co
+}
+
+// assign picks the shard for a new connection, round-robin so singleton
+// clients spread evenly and each shard sees enough concurrent runs to
+// merge.
+func (co *coalescer) assign() *coShard {
+	return &co.shards[int(co.next.Add(1)-1)%len(co.shards)]
+}
+
+// apply submits cn's pending run to its shard and blocks until the
+// worker has filled cn's result buffers. The reader owns the run's
+// memory throughout — it is parked here, not reading — so bytes-mode
+// ops may keep aliasing the reader's network buffer.
+func (co *coalescer) apply(cn *conn) {
+	cn.shard.ch <- cn
+	<-cn.applied
+}
+
+// shutdown stops the workers and waits for them to exit. Callers must
+// guarantee no reader can submit anymore (the Server calls this only
+// after every connection handler has finished).
+func (co *coalescer) shutdown() {
+	co.once.Do(func() { close(co.stop) })
+	co.wg.Wait()
+}
+
+// run is one shard's apply worker: block for the first run, collect
+// more until the batch fills or the window expires, apply once, scatter
+// the results back and wake the submitting readers.
+func (co *coalescer) run(sh *coShard) {
+	defer co.wg.Done()
+	var (
+		pending []*conn
+		ops     []hyaline.Op
+		res     []hyaline.Result
+		bops    []hyaline.BytesOp
+		bres    []hyaline.BytesResult
+		vbuf    []byte
+	)
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	for {
+		var first *conn
+		select {
+		case first = <-sh.ch:
+		case <-co.stop:
+			return
+		}
+		pending = append(pending[:0], first)
+		total := first.runLen()
+		switch {
+		case total >= co.maxBatch:
+			// The first run alone fills the batch; ship immediately.
+		case co.window > 0:
+			timer.Reset(co.window)
+		collect:
+			for total < co.maxBatch {
+				select {
+				case c := <-sh.ch:
+					pending = append(pending, c)
+					total += c.runLen()
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+		default:
+			// No latency budget: merge whatever is already queued.
+			for total < co.maxBatch {
+				select {
+				case c := <-sh.ch:
+					pending = append(pending, c)
+					total += c.runLen()
+				default:
+					total = co.maxBatch
+				}
+			}
+		}
+
+		if co.srv.kvb != nil {
+			bops = bops[:0]
+			for _, c := range pending {
+				bops = append(bops, c.bops...)
+			}
+			bres, vbuf = co.srv.kvb.ApplyBytesInto(bres[:0], vbuf[:0], bops)
+			co.srv.batches.Add(1)
+			off := 0
+			for _, c := range pending {
+				n := len(c.bops)
+				c.scatterBytes(bres[off : off+n])
+				off += n
+				c.applied <- struct{}{}
+			}
+		} else {
+			ops = ops[:0]
+			for _, c := range pending {
+				ops = append(ops, c.ops...)
+			}
+			res = co.srv.kv.ApplyInto(res[:0], ops)
+			co.srv.batches.Add(1)
+			off := 0
+			for _, c := range pending {
+				n := len(c.ops)
+				c.res = append(c.res[:0], res[off:off+n]...)
+				off += n
+				c.applied <- struct{}{}
+			}
+		}
+	}
+}
+
+// runLen is the pending run's length in whichever family this
+// connection accumulates.
+func (cn *conn) runLen() int {
+	if cn.bops != nil {
+		return len(cn.bops)
+	}
+	return len(cn.ops)
+}
+
+// scatterBytes copies this connection's slice of a shared batch into
+// conn-owned memory: the worker reuses its value buffer for the next
+// batch the moment this one is signalled, so GETB hit values must not
+// keep aliasing it. Capacity is ensured up front so the staged appends
+// never reallocate under the value slices being taken.
+func (cn *conn) scatterBytes(batch []hyaline.BytesResult) {
+	need := 0
+	for _, r := range batch {
+		need += len(r.Val)
+	}
+	if cap(cn.vbuf) < need {
+		cn.vbuf = make([]byte, 0, need)
+	} else {
+		cn.vbuf = cn.vbuf[:0]
+	}
+	cn.bres = cn.bres[:0]
+	for _, r := range batch {
+		if r.Val != nil {
+			start := len(cn.vbuf)
+			cn.vbuf = append(cn.vbuf, r.Val...)
+			r.Val = cn.vbuf[start:len(cn.vbuf):len(cn.vbuf)]
+		}
+		cn.bres = append(cn.bres, r)
+	}
+}

@@ -1,0 +1,526 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hyaline"
+	"hyaline/internal/protocol"
+	"hyaline/internal/server"
+)
+
+// hello negotiates flags on an open connection and returns the accepted
+// set.
+func hello(t *testing.T, w *protocol.Writer, rd *protocol.Reader, flags byte) byte {
+	t.Helper()
+	w.Hello(flags)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f := readFrame(t, rd)
+	wantStatus(t, f, protocol.StatusOK)
+	if len(f.Payload) != 1 {
+		t.Fatalf("HELLO reply payload %v", f.Payload)
+	}
+	return f.Payload[0]
+}
+
+// TestCoalescedBatching is the acceptance test: 64 singleton-pipeline
+// connections, per-connection mode vs coalesced mode, same op count.
+// Per-connection mode issues one kv.Apply per op; coalescing must merge
+// at least 8× better, with every reply still in its connection's request
+// order (checked by seq echo and by unique-key SET results).
+func TestCoalescedBatching(t *testing.T) {
+	const conns = 64
+	rounds := 50
+	if testing.Short() {
+		rounds = 10
+	}
+	run := func(opts server.Options) (ops, batches int64) {
+		_, srv, addr := testServer(t, "hashmap", "hyaline", opts)
+		var wg sync.WaitGroup
+		for id := 0; id < conns; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				c, err := net.Dial("tcp", addr)
+				if err != nil {
+					t.Errorf("conn %d: %v", id, err)
+					return
+				}
+				defer c.Close()
+				w := protocol.NewWriter(c)
+				rd := protocol.NewReader(c)
+				if got := hello(t, w, rd, protocol.FlagSeq); got&protocol.FlagSeq == 0 {
+					t.Errorf("conn %d: FlagSeq not accepted (%#x)", id, got)
+					return
+				}
+				for r := 0; r < rounds; r++ {
+					// Unique key per (conn, round): the insert must
+					// succeed, so any NIL is a cross-connection mixup.
+					w.SetSeq(uint32(r), uint64(id*rounds+r), uint64(r))
+					if err := w.Flush(); err != nil {
+						t.Errorf("conn %d: %v", id, err)
+						return
+					}
+					f, err := rd.ReadFrame()
+					if err != nil {
+						t.Errorf("conn %d: %v", id, err)
+						return
+					}
+					seq, _, err := protocol.Seq(f.Payload)
+					if err != nil {
+						t.Errorf("conn %d: %v", id, err)
+						return
+					}
+					if seq != uint32(r) {
+						t.Errorf("conn %d: reply seq %d, want %d (misordered)", id, seq, r)
+						return
+					}
+					wantStatus(t, f, protocol.StatusOK)
+				}
+			}(id)
+		}
+		wg.Wait()
+		_, _, _, b := srv.Counters()
+		return int64(conns * rounds), b
+	}
+
+	perOps, perBatches := run(server.Options{})
+	if perBatches != perOps {
+		t.Fatalf("per-connection mode: %d batches for %d singleton ops", perBatches, perOps)
+	}
+	// One shard and a generous window so the measurement is about
+	// merging, not about scheduler jitter on a loaded CI machine.
+	coOps, coBatches := run(server.Options{
+		Coalesce:       true,
+		CoalesceWindow: 2 * time.Millisecond,
+		CoalesceShards: 1,
+	})
+	if coBatches == 0 {
+		t.Fatal("coalesced mode issued no batches")
+	}
+	if coBatches*8 > coOps {
+		t.Fatalf("coalesced mode: %d batches for %d ops (%.1f ops/batch), want >= 8 ops/batch",
+			coBatches, coOps, float64(coOps)/float64(coBatches))
+	}
+	t.Logf("per-conn: %d batches / %d ops; coalesced: %d batches / %d ops (%.1f ops/batch)",
+		perBatches, perOps, coBatches, coOps, float64(coOps)/float64(coBatches))
+}
+
+// TestCoalescedPipelinedModel replays the single-client model check
+// against a coalesced server: coalescing must be invisible to any one
+// connection — same replies, same order, meta barriers intact.
+func TestCoalescedPipelinedModel(t *testing.T) {
+	_, _, addr := testServer(t, "hashmap", "hyaline", server.Options{
+		MaxPipeline:    8,
+		Coalesce:       true,
+		CoalesceWindow: 200 * time.Microsecond,
+	})
+	_, w, rd := dial(t, addr)
+
+	rng := rand.New(rand.NewSource(3))
+	model := map[uint64]uint64{}
+	windows := 30
+	if testing.Short() {
+		windows = 8
+	}
+	type pred struct {
+		status protocol.Status
+		val    uint64
+		hasVal bool
+	}
+	for wnd := 0; wnd < windows; wnd++ {
+		n := 1 + rng.Intn(40)
+		var expect []pred
+		for i := 0; i < n; i++ {
+			key := uint64(rng.Intn(20))
+			switch rng.Intn(4) {
+			case 0:
+				w.Set(key, key*100+uint64(wnd))
+				if _, ok := model[key]; ok {
+					expect = append(expect, pred{status: protocol.StatusNil})
+				} else {
+					model[key] = key*100 + uint64(wnd)
+					expect = append(expect, pred{status: protocol.StatusOK})
+				}
+			case 1:
+				w.Del(key)
+				if _, ok := model[key]; ok {
+					delete(model, key)
+					expect = append(expect, pred{status: protocol.StatusOK})
+				} else {
+					expect = append(expect, pred{status: protocol.StatusNil})
+				}
+			case 2:
+				w.Get(key)
+				if v, ok := model[key]; ok {
+					expect = append(expect, pred{status: protocol.StatusOK, val: v, hasVal: true})
+				} else {
+					expect = append(expect, pred{status: protocol.StatusNil})
+				}
+			case 3:
+				w.Len()
+				expect = append(expect, pred{status: protocol.StatusOK, val: uint64(len(model)), hasVal: true})
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range expect {
+			f := readFrame(t, rd)
+			if protocol.Status(f.Code) != e.status {
+				t.Fatalf("window %d op %d: status %s, want %s", wnd, i, protocol.Status(f.Code), e.status)
+			}
+			if e.hasVal {
+				v, err := protocol.U64(f.Payload)
+				if err != nil {
+					t.Fatalf("window %d op %d: %v", wnd, i, err)
+				}
+				if v != e.val {
+					t.Fatalf("window %d op %d: value %d, want %d", wnd, i, v, e.val)
+				}
+			}
+		}
+	}
+}
+
+// bytesPattern is the deterministic value every test writer stores under
+// a key, so any reader can integrity-check a GETB hit without shared
+// state.
+func bytesPattern(key []byte) []byte {
+	n := 1 + int(key[len(key)-1]%4)
+	return bytes.Repeat(key, n)
+}
+
+// TestCoalescedBytes hammers a coalesced bytes server from several
+// pipelined connections. GETB hits must return the exact stored pattern:
+// the shard worker's value buffer is reused across batches, so a stale
+// alias (a scatter bug) shows up as cross-connection value corruption.
+func TestCoalescedBytes(t *testing.T) {
+	_, _, addr := testBytesServer(t, "hyaline", server.Options{
+		Coalesce:       true,
+		CoalesceWindow: 200 * time.Microsecond,
+		CoalesceShards: 1,
+	})
+	conns, windows := 8, 30
+	if testing.Short() {
+		conns, windows = 4, 8
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < conns; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Errorf("conn %d: %v", id, err)
+				return
+			}
+			defer c.Close()
+			w := protocol.NewWriter(c)
+			rd := protocol.NewReader(c)
+			if got := hello(t, w, rd, protocol.FlagSeq); got&protocol.FlagSeq == 0 {
+				t.Errorf("conn %d: FlagSeq not accepted", id)
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(id)))
+			kinds := make([]protocol.Op, 16)
+			keys := make([][]byte, 16)
+			var seq uint32
+			for wnd := 0; wnd < windows; wnd++ {
+				base := seq
+				for p := range kinds {
+					key := []byte(fmt.Sprintf("k%03d", rng.Intn(256)))
+					keys[p] = key
+					switch rng.Intn(3) {
+					case 0:
+						kinds[p] = protocol.OpSetB
+						w.SetBSeq(seq, key, bytesPattern(key))
+					case 1:
+						kinds[p] = protocol.OpDelB
+						w.DelBSeq(seq, key)
+					default:
+						kinds[p] = protocol.OpGetB
+						w.GetBSeq(seq, key)
+					}
+					seq++
+				}
+				if err := w.Flush(); err != nil {
+					t.Errorf("conn %d: %v", id, err)
+					return
+				}
+				for p := range kinds {
+					f, err := rd.ReadFrame()
+					if err != nil {
+						t.Errorf("conn %d: %v", id, err)
+						return
+					}
+					got, rest, err := protocol.Seq(f.Payload)
+					if err != nil {
+						t.Errorf("conn %d: %v", id, err)
+						return
+					}
+					if got != base+uint32(p) {
+						t.Errorf("conn %d: reply seq %d, want %d (misordered)", id, got, base+uint32(p))
+						return
+					}
+					if protocol.Status(f.Code) == protocol.StatusErr {
+						t.Errorf("conn %d: ERR %q", id, rest)
+						return
+					}
+					if kinds[p] == protocol.OpGetB && protocol.Status(f.Code) == protocol.StatusOK {
+						if want := bytesPattern(keys[p]); !bytes.Equal(rest, want) {
+							t.Errorf("conn %d: corrupted GETB %q: got %q, want %q", id, keys[p], rest, want)
+							return
+						}
+					}
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+// TestCoalescedDrain shuts the server down under active coalesced
+// traffic: in-flight batches complete, handlers and shard workers exit,
+// and no session lease is left in flight.
+func TestCoalescedDrain(t *testing.T) {
+	kv, err := hyaline.NewKV("hashmap", "hyaline", hyaline.KVOptions{MaxThreads: 4, ArenaCap: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(kv, server.Options{Coalesce: true, CoalesceWindow: 200 * time.Microsecond})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	const conns = 8
+	var wg sync.WaitGroup
+	for id := 0; id < conns; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			w := protocol.NewWriter(c)
+			rd := protocol.NewReader(c)
+			for i := uint64(0); ; i++ {
+				for p := uint64(0); p < 8; p++ {
+					w.Set(i*8+p+uint64(id)<<32, p)
+				}
+				if err := w.Flush(); err != nil {
+					return
+				}
+				for p := 0; p < 8; p++ {
+					if _, err := rd.ReadFrame(); err != nil {
+						return // drain deadline landed mid-stream
+					}
+				}
+			}
+		}(id)
+	}
+
+	time.Sleep(30 * time.Millisecond) // let traffic reach steady state
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown under coalesced traffic: %v", err)
+	}
+	if err := <-serveErr; err != server.ErrServerClosed {
+		t.Fatalf("Serve returned %v", err)
+	}
+	wg.Wait()
+	if n := kv.InFlight(); n != 0 {
+		t.Fatalf("%d session leases in flight after coalesced drain", n)
+	}
+	if _, _, _, batches := srv.Counters(); batches == 0 {
+		t.Fatal("drain test saw no batches — traffic never reached the server")
+	}
+}
+
+// TestSeqReplies covers the HELLO negotiation corners and the SEQ reply
+// variants on one per-connection-mode server: unsupported flags are
+// masked off, seq values are echoed verbatim (not re-numbered), meta
+// commands stay unsequenced, and an unsequenced data frame after
+// negotiation is a protocol error.
+func TestSeqReplies(t *testing.T) {
+	_, _, addr := testServer(t, "hashmap", "hyaline", server.Options{})
+	_, w, rd := dial(t, addr)
+
+	// Request every flag bit; only the supported subset comes back.
+	if got := hello(t, w, rd, 0xff); got != protocol.SupportedFlags {
+		t.Fatalf("HELLO(0xff) accepted %#x, want %#x", got, protocol.SupportedFlags)
+	}
+
+	w.SetSeq(42, 1, 100)
+	w.GetSeq(7, 1)
+	w.GetSeq(9000, 2) // miss
+	w.Ping([]byte("meta"))
+	w.DelSeq(3, 1)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	f := readFrame(t, rd) // SET → OK, seq 42
+	wantStatus(t, f, protocol.StatusOK)
+	if seq, rest, _ := protocol.Seq(f.Payload); seq != 42 || len(rest) != 0 {
+		t.Fatalf("SET reply seq %d rest %v", seq, rest)
+	}
+	f = readFrame(t, rd) // GET hit → VALUE, seq 7
+	wantStatus(t, f, protocol.StatusOK)
+	seq, rest, err := protocol.Seq(f.Payload)
+	if err != nil || seq != 7 {
+		t.Fatalf("GET reply seq %d, %v", seq, err)
+	}
+	if v, _ := protocol.U64(rest); v != 100 {
+		t.Fatalf("GET value %d", v)
+	}
+	f = readFrame(t, rd) // GET miss → NIL, seq 9000
+	wantStatus(t, f, protocol.StatusNil)
+	if seq, _, _ := protocol.Seq(f.Payload); seq != 9000 {
+		t.Fatalf("miss reply seq %d", seq)
+	}
+	f = readFrame(t, rd) // PING: meta, no seq prefix
+	wantStatus(t, f, protocol.StatusOK)
+	if string(f.Payload) != "meta" {
+		t.Fatalf("PING payload %q", f.Payload)
+	}
+	f = readFrame(t, rd) // DEL → OK, seq 3
+	wantStatus(t, f, protocol.StatusOK)
+	if seq, _, _ := protocol.Seq(f.Payload); seq != 3 {
+		t.Fatalf("DEL reply seq %d", seq)
+	}
+
+	// An unsequenced GET after negotiating FlagSeq is malformed: its
+	// 8-byte payload parses as seq + 4 bytes, which no data op accepts.
+	w.Get(1)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, readFrame(t, rd), protocol.StatusErr)
+	if _, err := rd.ReadFrame(); err == nil {
+		t.Fatal("connection survived a seq framing violation")
+	}
+}
+
+// TestWriteTimeout: a client that bursts requests and never reads its
+// replies must not park the writer forever — the write deadline expires,
+// the connection is torn down, and the handler pair exits.
+func TestWriteTimeout(t *testing.T) {
+	kv, srv, addr := testServer(t, "hashmap", "hyaline", server.Options{
+		WriteTimeout: 100 * time.Millisecond,
+	})
+	_ = kv
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Each PING echoes 16KiB back; the client never reads, so the
+		// server's replies fill the kernel buffers and block the writer.
+		frame := protocol.AppendPing(nil, make([]byte, 16<<10))
+		for {
+			if _, err := c.Write(frame); err != nil {
+				return // server gave up on us
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, active, _, _ := srv.Counters(); active == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("connection still active: write timeout never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Close()
+	<-done
+}
+
+// TestConnChurnLeak opens, bursts and closes waves of connections in
+// both serving modes, then checks nothing leaked: no active connections,
+// no session leases in flight, and the goroutine count back at the
+// server's baseline (handler pairs and shard workers all accounted for).
+func TestConnChurnLeak(t *testing.T) {
+	modes := []struct {
+		name string
+		opts server.Options
+	}{
+		{"perconn", server.Options{}},
+		{"coalesced", server.Options{Coalesce: true, CoalesceWindow: 200 * time.Microsecond}},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			kv, srv, addr := testServer(t, "hashmap", "hyaline", m.opts)
+			base := runtime.NumGoroutine()
+
+			const waves, perWave, burst = 3, 8, 10
+			for wave := 0; wave < waves; wave++ {
+				var wg sync.WaitGroup
+				for i := 0; i < perWave; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						c, err := net.Dial("tcp", addr)
+						if err != nil {
+							t.Errorf("dial: %v", err)
+							return
+						}
+						defer c.Close()
+						w := protocol.NewWriter(c)
+						rd := protocol.NewReader(c)
+						for k := 0; k < burst; k++ {
+							w.Set(uint64(i*burst+k), uint64(k))
+						}
+						if err := w.Flush(); err != nil {
+							t.Errorf("flush: %v", err)
+							return
+						}
+						for k := 0; k < burst; k++ {
+							if _, err := rd.ReadFrame(); err != nil {
+								t.Errorf("read: %v", err)
+								return
+							}
+						}
+					}(wave*perWave + i)
+				}
+				wg.Wait()
+			}
+
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				_, active, _, _ := srv.Counters()
+				inFlight := kv.InFlight()
+				goroutines := runtime.NumGoroutine()
+				if active == 0 && inFlight == 0 && goroutines <= base {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("leak after churn: active=%d inFlight=%d goroutines=%d (baseline %d)",
+						active, inFlight, goroutines, base)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		})
+	}
+}

@@ -12,6 +12,15 @@
 // per-op bracket; a pipelined one amortizes it across the window, which
 // is the client/server replay of the paper's batching argument.
 //
+// Options.Coalesce extends that amortization across connections: readers
+// hand their decoded runs to sharded apply workers (see coalesce.go)
+// that merge runs from many connections into one batch under the
+// Options.CoalesceWindow latency budget, so a fleet of singleton clients
+// shares brackets the way one pipelined client does. Replies stay
+// strictly ordered within each connection either way; clients that want
+// to run open-loop against a coalesced server negotiate protocol
+// sequence ids via HELLO (see internal/protocol).
+//
 // This is also the first workload where goroutines, connections and
 // leased tids are all independently oversubscribed: C connections mean
 // 2C goroutines contending for the KV's MaxThreads tids, with the
@@ -35,6 +44,19 @@ import (
 // exactly one bracket with no mid-batch trim.
 const DefaultMaxPipeline = 64
 
+// DefaultCoalesceWindow is the latency budget a coalesced apply batch
+// may wait for more runs before shipping non-full. 50µs is roughly one
+// scheduler quantum of gathering: long enough that a few dozen singleton
+// connections land in the same batch, short enough to be invisible next
+// to a LAN round trip.
+const DefaultCoalesceWindow = 50 * time.Microsecond
+
+// DefaultWriteTimeout bounds each reply Write. A healthy client drains
+// its socket in microseconds; a peer that has stopped reading leaves the
+// write blocked until the OS buffer fills and then forever, so a few
+// seconds cleanly separates "slow" from "gone".
+const DefaultWriteTimeout = 5 * time.Second
+
 // ErrServerClosed is returned by Serve after Shutdown.
 var ErrServerClosed = errors.New("server: closed")
 
@@ -43,6 +65,23 @@ type Options struct {
 	// MaxPipeline caps how many pipelined data commands are coalesced
 	// into one kv.Apply batch. Default DefaultMaxPipeline; min 1.
 	MaxPipeline int
+	// Coalesce merges apply batches across connections: readers submit
+	// runs to sharded apply workers instead of calling kv.Apply
+	// themselves. Wins when many connections each keep few requests in
+	// flight; loses nothing when a single client already pipelines full
+	// windows.
+	Coalesce bool
+	// CoalesceWindow is the latency budget a non-full coalesced batch
+	// waits for more runs. Default DefaultCoalesceWindow; negative means
+	// no waiting (merge only runs already queued).
+	CoalesceWindow time.Duration
+	// CoalesceShards is the number of apply workers. Default
+	// min(GOMAXPROCS/2, 4), min 1.
+	CoalesceShards int
+	// WriteTimeout bounds each reply Write; on expiry the connection is
+	// treated as broken (closed, drained, logged). Default
+	// DefaultWriteTimeout; negative disables the deadline.
+	WriteTimeout time.Duration
 	// Logf, when non-nil, receives connection-level diagnostics (accept
 	// and write errors). Protocol errors are reported to the offending
 	// client, not logged.
@@ -55,10 +94,12 @@ type Options struct {
 // meta commands in both modes. A data op of the other family is a
 // protocol error, like any other malformed request.
 type Server struct {
-	kv          *hyaline.KV
-	kvb         *hyaline.KVBytes
-	maxPipeline int
-	logf        func(string, ...any)
+	kv           *hyaline.KV
+	kvb          *hyaline.KVBytes
+	maxPipeline  int
+	writeTimeout time.Duration
+	co           *coalescer // non-nil iff Options.Coalesce
+	logf         func(string, ...any)
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -76,6 +117,9 @@ type Server struct {
 func New(kv *hyaline.KV, opts Options) *Server {
 	s := newServer(opts)
 	s.kv = kv
+	if opts.Coalesce {
+		s.co = newCoalescer(s, opts)
+	}
 	return s
 }
 
@@ -85,6 +129,9 @@ func New(kv *hyaline.KV, opts Options) *Server {
 func NewBytes(kvb *hyaline.KVBytes, opts Options) *Server {
 	s := newServer(opts)
 	s.kvb = kvb
+	if opts.Coalesce {
+		s.co = newCoalescer(s, opts)
+	}
 	return s
 }
 
@@ -92,14 +139,22 @@ func newServer(opts Options) *Server {
 	if opts.MaxPipeline <= 0 {
 		opts.MaxPipeline = DefaultMaxPipeline
 	}
+	wt := opts.WriteTimeout
+	if wt == 0 {
+		wt = DefaultWriteTimeout
+	}
+	if wt < 0 {
+		wt = 0 // disabled
+	}
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	return &Server{
-		maxPipeline: opts.MaxPipeline,
-		logf:        logf,
-		conns:       map[net.Conn]struct{}{},
+		maxPipeline:  opts.MaxPipeline,
+		writeTimeout: wt,
+		logf:         logf,
+		conns:        map[net.Conn]struct{}{},
 	}
 }
 
@@ -177,6 +232,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		// Every handler has exited, so no reader can submit to the
+		// coalescer anymore; its workers can now stop. Doing this before
+		// signalling done means "Shutdown returned cleanly" implies no
+		// server goroutine — handler or worker — is left behind.
+		if s.co != nil {
+			s.co.shutdown()
+		}
 		close(done)
 	}()
 	select {
@@ -287,6 +349,18 @@ type conn struct {
 	bp  *[]byte // current reply buffer (from bufPool)
 	buf []byte  // alias of *bp being appended to
 
+	// seq is set by a HELLO that negotiated FlagSeq: every data command
+	// carries a u32 seq prefix that is echoed on its reply. seqs runs
+	// parallel to the pending run (ops or bops).
+	seq  bool
+	seqs []uint32
+
+	// Coalesced-mode rendezvous: the reader parks on applied after
+	// handing itself to its shard's worker, which fills res/bres (and
+	// vbuf) and signals. Nil when the server applies per-connection.
+	applied chan struct{}
+	shard   *coShard
+
 	fatal bool // protocol error: an ERR reply is queued, close after flushing
 }
 
@@ -311,6 +385,11 @@ func newConn(s *Server, c net.Conn) *conn {
 	} else {
 		cn.ops = make([]hyaline.Op, 0, s.maxPipeline)
 		cn.res = make([]hyaline.Result, 0, s.maxPipeline)
+	}
+	cn.seqs = make([]uint32, 0, s.maxPipeline)
+	if s.co != nil {
+		cn.applied = make(chan struct{}, 1)
+		cn.shard = s.co.assign()
 	}
 	return cn
 }
@@ -366,6 +445,13 @@ func (cn *conn) writeLoop(done chan<- struct{}) {
 	broken := false
 	for bp := range cn.out {
 		if !broken {
+			// A deadline per Write, not per connection: a client may idle
+			// forever between windows, but once replies are in hand a peer
+			// that will not drain its socket is indistinguishable from a
+			// dead one.
+			if wt := cn.srv.writeTimeout; wt > 0 {
+				cn.c.SetWriteDeadline(time.Now().Add(wt))
+			}
 			if _, err := cn.c.Write(*bp); err != nil {
 				broken = true
 				cn.srv.logf("server: write to %s: %v", cn.c.RemoteAddr(), err)
@@ -378,34 +464,52 @@ func (cn *conn) writeLoop(done chan<- struct{}) {
 }
 
 // frame handles one decoded request frame. Data commands accumulate into
-// the pending Apply run; meta commands (PING/LEN/STATS) are ordering
-// barriers — they flush the run, then answer inline while the frame
-// payload is still valid.
+// the pending Apply run; meta commands (PING/LEN/STATS/HELLO) are
+// ordering barriers — they flush the run, then answer inline while the
+// frame payload is still valid.
 func (cn *conn) frame(f protocol.Frame) {
 	op := protocol.Op(f.Code)
-	if err := protocol.ValidateRequest(op, f.Payload); err != nil {
+	payload := f.Payload
+	var seq uint32
+	if cn.seq && op.IsData() {
+		var err error
+		seq, payload, err = protocol.Seq(payload)
+		if err != nil {
+			cn.protoErr(err)
+			return
+		}
+	}
+	if err := protocol.ValidateRequest(op, payload); err != nil {
 		cn.protoErr(err)
 		return
 	}
 	switch op {
 	case protocol.OpGet:
-		key, _ := protocol.U64(f.Payload)
-		cn.push(hyaline.Op{Kind: hyaline.OpGet, Key: key})
+		key, _ := protocol.U64(payload)
+		cn.push(hyaline.Op{Kind: hyaline.OpGet, Key: key}, seq)
 	case protocol.OpSet:
-		key, val, _ := protocol.KeyVal(f.Payload)
-		cn.push(hyaline.Op{Kind: hyaline.OpInsert, Key: key, Val: val})
+		key, val, _ := protocol.KeyVal(payload)
+		cn.push(hyaline.Op{Kind: hyaline.OpInsert, Key: key, Val: val}, seq)
 	case protocol.OpDel:
-		key, _ := protocol.U64(f.Payload)
-		cn.push(hyaline.Op{Kind: hyaline.OpDelete, Key: key})
+		key, _ := protocol.U64(payload)
+		cn.push(hyaline.Op{Kind: hyaline.OpDelete, Key: key}, seq)
 	case protocol.OpGetB:
-		key, _ := protocol.KeyB(f.Payload)
-		cn.pushBytes(hyaline.BytesOp{Kind: hyaline.OpGet, Key: key})
+		key, _ := protocol.KeyB(payload)
+		cn.pushBytes(hyaline.BytesOp{Kind: hyaline.OpGet, Key: key}, seq)
 	case protocol.OpSetB:
-		key, val, _ := protocol.KeyValB(f.Payload)
-		cn.pushBytes(hyaline.BytesOp{Kind: hyaline.OpInsert, Key: key, Val: val})
+		key, val, _ := protocol.KeyValB(payload)
+		cn.pushBytes(hyaline.BytesOp{Kind: hyaline.OpInsert, Key: key, Val: val}, seq)
 	case protocol.OpDelB:
-		key, _ := protocol.KeyB(f.Payload)
-		cn.pushBytes(hyaline.BytesOp{Kind: hyaline.OpDelete, Key: key})
+		key, _ := protocol.KeyB(payload)
+		cn.pushBytes(hyaline.BytesOp{Kind: hyaline.OpDelete, Key: key}, seq)
+	case protocol.OpHello:
+		// A barrier like the other meta commands: the pending run is
+		// encoded under the old framing before the switch takes effect.
+		cn.flushOps()
+		accepted := payload[0] & protocol.SupportedFlags
+		cn.seq = accepted&protocol.FlagSeq != 0
+		cn.buf = protocol.AppendHelloReply(cn.buf, accepted)
+		cn.srv.served.Add(1)
 	case protocol.OpPing:
 		cn.flushOps()
 		cn.buf = protocol.AppendPingReply(cn.buf, f.Payload)
@@ -421,23 +525,25 @@ func (cn *conn) frame(f protocol.Frame) {
 	}
 }
 
-func (cn *conn) push(op hyaline.Op) {
+func (cn *conn) push(op hyaline.Op, seq uint32) {
 	if cn.srv.kv == nil {
 		cn.protoErr(errWrongFamily(op.Kind, "uint64", "bytes"))
 		return
 	}
 	cn.ops = append(cn.ops, op)
+	cn.seqs = append(cn.seqs, seq)
 	if len(cn.ops) >= cn.srv.maxPipeline {
 		cn.flushOps()
 	}
 }
 
-func (cn *conn) pushBytes(op hyaline.BytesOp) {
+func (cn *conn) pushBytes(op hyaline.BytesOp, seq uint32) {
 	if cn.srv.kvb == nil {
 		cn.protoErr(errWrongFamily(op.Kind, "bytes", "uint64"))
 		return
 	}
 	cn.bops = append(cn.bops, op)
+	cn.seqs = append(cn.seqs, seq)
 	if len(cn.bops) >= cn.srv.maxPipeline {
 		cn.flushOps()
 	}
@@ -447,45 +553,89 @@ func errWrongFamily(kind hyaline.OpKind, got, serves string) error {
 	return errors.New("server: " + got + " " + kind.String() + " on a server backed by a " + serves + " KV")
 }
 
-// flushOps applies the pending run as one batch — one session lease, one
-// Enter/Leave bracket — and encodes its replies in request order. A
-// connection only ever accumulates one family of run (the server is
-// single-mode), so at most one branch has work.
+// flushOps applies the pending run — one session lease, one Enter/Leave
+// bracket, shared with other connections' runs when coalescing — and
+// encodes its replies in request order. A connection only ever
+// accumulates one family of run (the server is single-mode), so at most
+// one branch has work.
 func (cn *conn) flushOps() {
-	if len(cn.ops) > 0 {
+	if len(cn.ops) == 0 && len(cn.bops) == 0 {
+		return
+	}
+	switch {
+	case cn.srv.co != nil:
+		// The shard worker fills cn.res/cn.bres (values copied into
+		// cn.vbuf) and counts the merged batch.
+		cn.srv.co.apply(cn)
+	case len(cn.ops) > 0:
 		cn.res = cn.srv.kv.ApplyInto(cn.res[:0], cn.ops)
 		cn.srv.batches.Add(1)
+	default:
+		cn.bres, cn.vbuf = cn.srv.kvb.ApplyBytesInto(cn.bres[:0], cn.vbuf[:0], cn.bops)
+		cn.srv.batches.Add(1)
+	}
+	cn.encodeReplies()
+}
+
+// encodeReplies turns the applied run's results into wire replies, in
+// request order, echoing each request's seq when the connection
+// negotiated FlagSeq, then resets the run.
+func (cn *conn) encodeReplies() {
+	if len(cn.ops) > 0 {
 		cn.srv.served.Add(int64(len(cn.ops)))
 		for i, op := range cn.ops {
 			r := cn.res[i]
 			switch {
 			case op.Kind == hyaline.OpGet && r.OK:
-				cn.buf = protocol.AppendValue(cn.buf, r.Val)
+				if cn.seq {
+					cn.buf = protocol.AppendValueSeq(cn.buf, cn.seqs[i], r.Val)
+				} else {
+					cn.buf = protocol.AppendValue(cn.buf, r.Val)
+				}
 			case r.OK:
-				cn.buf = protocol.AppendOK(cn.buf)
+				if cn.seq {
+					cn.buf = protocol.AppendOKSeq(cn.buf, cn.seqs[i])
+				} else {
+					cn.buf = protocol.AppendOK(cn.buf)
+				}
 			default:
-				cn.buf = protocol.AppendNil(cn.buf)
+				if cn.seq {
+					cn.buf = protocol.AppendNilSeq(cn.buf, cn.seqs[i])
+				} else {
+					cn.buf = protocol.AppendNil(cn.buf)
+				}
 			}
 		}
 		cn.ops = cn.ops[:0]
 	}
 	if len(cn.bops) > 0 {
-		cn.bres, cn.vbuf = cn.srv.kvb.ApplyBytesInto(cn.bres[:0], cn.vbuf[:0], cn.bops)
-		cn.srv.batches.Add(1)
 		cn.srv.served.Add(int64(len(cn.bops)))
 		for i, op := range cn.bops {
 			r := cn.bres[i]
 			switch {
 			case op.Kind == hyaline.OpGet && r.OK:
-				cn.buf = protocol.AppendValueB(cn.buf, r.Val)
+				if cn.seq {
+					cn.buf = protocol.AppendValueBSeq(cn.buf, cn.seqs[i], r.Val)
+				} else {
+					cn.buf = protocol.AppendValueB(cn.buf, r.Val)
+				}
 			case r.OK:
-				cn.buf = protocol.AppendOK(cn.buf)
+				if cn.seq {
+					cn.buf = protocol.AppendOKSeq(cn.buf, cn.seqs[i])
+				} else {
+					cn.buf = protocol.AppendOK(cn.buf)
+				}
 			default:
-				cn.buf = protocol.AppendNil(cn.buf)
+				if cn.seq {
+					cn.buf = protocol.AppendNilSeq(cn.buf, cn.seqs[i])
+				} else {
+					cn.buf = protocol.AppendNil(cn.buf)
+				}
 			}
 		}
 		cn.bops = cn.bops[:0]
 	}
+	cn.seqs = cn.seqs[:0]
 }
 
 // protoErr flushes what came before the malformed frame (those requests

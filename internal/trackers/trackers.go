@@ -144,6 +144,13 @@ func Reclaiming() []string {
 	return append([]string(nil), reclaimingNames...)
 }
 
+// Known reports whether name is a registered scheme, without building
+// anything — for constructors that must validate before allocating.
+func Known(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
 // New constructs the named tracker over a. MaxThreads must be positive
 // and Slots non-negative; a Slots value that is not a power of two is
 // rounded up by the Hyaline variants (§3.2 requires a power of two).

@@ -44,6 +44,15 @@ func NewKVBytes(structure, scheme string, opts KVOptions) (*KVBytes, error) {
 	if blobBudget <= 0 {
 		blobBudget = 1 << 24
 	}
+	// Validate the whole combination before committing resources: the
+	// arena and its blob slabs are the expensive part of construction,
+	// and a rejected structure/scheme pair must not leave them allocated.
+	if err := ds.ValidateBytes(structure, scheme); err != nil {
+		return nil, err
+	}
+	if !trackers.Known(scheme) {
+		return nil, fmt.Errorf("hyaline: unknown scheme %q (known: %v)", scheme, trackers.Names())
+	}
 	a := NewArena(arenaCap)
 	a.EnableBlobs(blobBudget)
 	tcfg := opts.Tracker
@@ -55,9 +64,6 @@ func NewKVBytes(structure, scheme string, opts KVOptions) (*KVBytes, error) {
 	m, err := ds.NewBytes(structure, a, tr, maxThreads)
 	if err != nil {
 		return nil, err
-	}
-	if !ds.SupportsBytes(structure, scheme) {
-		return nil, fmt.Errorf("hyaline: %s does not support scheme %s", structure, scheme)
 	}
 	kv := &KVBytes{
 		structure: structure,

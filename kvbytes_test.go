@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -254,5 +255,46 @@ func BenchmarkKVBytesApply(b *testing.B) {
 				dst, buf = kv.ApplyBytesInto(dst[:0], buf[:0], ops)
 			}
 		})
+	}
+}
+
+// TestNewKVBytesRejectsBeforeAllocating: a rejected structure/scheme
+// combination must error out before the constructor commits resources —
+// the arena and its blob slabs in particular. The pre-fix constructor
+// allocated the full arena (and built the tracker and structure) before
+// validating, which this allocation bound would catch immediately.
+func TestNewKVBytesRejectsBeforeAllocating(t *testing.T) {
+	combos := []struct{ structure, scheme string }{
+		{"no-such-structure", "hyaline"},
+		{"blist", "no-such-scheme"},
+		{"no-such-structure", "no-such-scheme"},
+	}
+	for _, c := range combos {
+		kv, err := hyaline.NewKVBytes(c.structure, c.scheme, hyaline.KVOptions{
+			MaxThreads: 8, ArenaCap: 1 << 20, BlobClassBudget: 1 << 24,
+		})
+		if err == nil {
+			t.Fatalf("NewKVBytes(%q, %q) succeeded, want error", c.structure, c.scheme)
+		}
+		if kv != nil {
+			t.Fatalf("NewKVBytes(%q, %q) returned a KV alongside the error", c.structure, c.scheme)
+		}
+		// The error path may allocate the error value and its formatted
+		// message — a few hundred bytes. The arena alone is ArenaCap
+		// (1MiB here), so a kilobyte-scale bound proves it was never
+		// built.
+		const rounds = 10
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		for i := 0; i < rounds; i++ {
+			_, _ = hyaline.NewKVBytes(c.structure, c.scheme, hyaline.KVOptions{
+				MaxThreads: 8, ArenaCap: 1 << 20, BlobClassBudget: 1 << 24,
+			})
+		}
+		runtime.ReadMemStats(&after)
+		if perCall := (after.TotalAlloc - before.TotalAlloc) / rounds; perCall > 16<<10 {
+			t.Errorf("NewKVBytes(%q, %q) error path allocated %d bytes per call, want <= 16KiB", c.structure, c.scheme, perCall)
+		}
 	}
 }
