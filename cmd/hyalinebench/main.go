@@ -12,6 +12,7 @@
 //	hyalinebench -structure hashmap -scheme hyaline -sessions -batch 64   # batched leases
 //	hyalinebench -structure hashmap -scheme hyaline -conns 16 -pipeline 16   # client/server mode
 //	hyalinebench -structure blist -scheme hyaline -valuesize 128   # bytes payloads
+//	hyalinebench -structure list -scheme hyaline -shards 8   # hash-sharded partitions
 //	hyalinebench -snapshot bytes -duration 2s > BENCH_BYTES.json   # committed snapshot
 //
 // Absolute numbers depend on the machine; the paper's claims are about
@@ -67,6 +68,7 @@ func run(args []string) error {
 		pipe      = fs.Int("pipeline", 0, "single run: requests kept in flight per connection (needs -conns; 0 = 1, singleton round trips)")
 		coalesce  = fs.Bool("coalesce", false, "single run: merge apply batches across connections (needs -conns)")
 		valsize   = fs.Int("valuesize", 0, "single run: bytes payload size — switches to []byte keys/values (bytes structures only, e.g. blist)")
+		shards    = fs.Int("shards", 0, "single run: hash-shard across N independent structure+tracker partitions (0/1 = unsharded; may exceed -threads — idle shards just see less traffic)")
 		snapshot  = fs.String("snapshot", "", "emit a JSON benchmark snapshot to stdout: kv (uint64 baseline) or bytes (payload twin)")
 		baseline  = fs.String("baseline", "", "compare the -snapshot run against this committed snapshot JSON; fail on a >25% ns/op regression")
 		slots     = fs.Int("slots", 0, "Hyaline slot cap k (0 = next pow2 of cores)")
@@ -115,6 +117,20 @@ func run(args []string) error {
 		return fmt.Errorf("-valuesize %d: the payload size cannot be negative (0 = uint64 payloads)", *valsize)
 	case *valsize > 0 && *conns > 0:
 		return fmt.Errorf("-valuesize %d with -conns: the client/server bench drives uint64 frames only", *valsize)
+	case *shards < 0:
+		return fmt.Errorf("-shards %d: the shard count cannot be negative (0 or 1 = unsharded)", *shards)
+	case *shards > 1 && *trim:
+		return fmt.Errorf("-shards %d with -trim: trim holds one tracker's tid across operations; sharded workers hop trackers per key", *shards)
+	case *shards > 1 && (*sessions || *gor > 0):
+		return fmt.Errorf("-shards %d with -sessions/-goroutines: session mode leases from a single pool (serve a ShardedKV with -conns instead)", *shards)
+	case *shards > 1 && *stalled > 0:
+		return fmt.Errorf("-shards %d with -stalled: sharded runs have no stalled workers (figure 10a stalls a single shard)", *shards)
+	case *shards > 1 && *batch > 1 && *conns == 0:
+		return fmt.Errorf("-shards %d with -batch: native sharded runs bracket per operation (batched sharded applies run through -conns serve mode)", *shards)
+	case *shards > 1 && *valsize > 0:
+		return fmt.Errorf("-shards %d with -valuesize: no native sharded bytes runs; drive hyalined -bytes -shards with hyalineload", *shards)
+	case *shards > 1 && *rangePct > 0:
+		return fmt.Errorf("-shards %d with -range: native sharded runs have no merged range scans", *shards)
 	}
 
 	switch {
@@ -135,6 +151,7 @@ func run(args []string) error {
 			batch: *batch, conns: *conns, pipeline: *pipe,
 			coalesce:  *coalesce,
 			valueSize: *valsize,
+			shards:    *shards,
 			slots:     *slots, prefill: *prefill,
 			keyrange: *keyrange, arenaCap: *arenaCap,
 		})
@@ -234,6 +251,7 @@ type singleConfig struct {
 	prefill, arenaCap           int
 	rangePct, goroutines, batch int
 	conns, pipeline, valueSize  int
+	shards                      int
 	rangeSpan, keyrange         uint64
 	duration                    time.Duration
 	trim, sessions, coalesce    bool
@@ -277,6 +295,7 @@ func runSingle(c singleConfig) error {
 		Pipeline:   c.pipeline,
 		Coalesce:   c.coalesce,
 		ValueSize:  c.valueSize,
+		Shards:     c.shards,
 		Prefill:    c.prefill,
 		KeyRange:   c.keyrange,
 		ArenaCap:   c.arenaCap,

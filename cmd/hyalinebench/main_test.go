@@ -25,6 +25,13 @@ func TestFlagValidation(t *testing.T) {
 		{"pipeline without conns", append(single, "-pipeline=8"), "-conns"},
 		{"conns with sessions", append(single, "-conns=2", "-sessions"), "-sessions"},
 		{"conns with batch", append(single, "-conns=2", "-batch=16"), "-batch"},
+		{"negative shards", append(single, "-shards=-1"), "-shards"},
+		{"shards with trim", append(single, "-shards=4", "-trim"), "-trim"},
+		{"shards with sessions", append(single, "-shards=4", "-sessions"), "-sessions"},
+		{"shards with stalled", append(single, "-shards=4", "-stalled=1"), "-stalled"},
+		{"shards with batch", append(single, "-shards=4", "-batch=16"), "-batch"},
+		{"shards with valuesize", append(single, "-shards=4", "-valuesize=64"), "-valuesize"},
+		{"shards with range", append(single, "-shards=4", "-range=10"), "-range"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -52,6 +59,10 @@ func TestFlagValidationAccepts(t *testing.T) {
 	cases := [][]string{
 		append([]string{"-structure", "hashmap", "-scheme", "epoch", "-sessions", "-goroutines=-1"}, common...),
 		append([]string{"-structure", "hashmap", "-scheme", "epoch", "-conns", "2", "-pipeline", "4"}, common...),
+		// shards above threads: legal — idle shards just see less traffic.
+		append([]string{"-structure", "hashmap", "-scheme", "epoch", "-shards", "8"}, common...),
+		// shards through serve mode: the server hosts a ShardedKV.
+		append([]string{"-structure", "hashmap", "-scheme", "epoch", "-shards", "4", "-conns", "2"}, common...),
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {

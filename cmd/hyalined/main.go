@@ -10,6 +10,7 @@
 //	hyalined -addr :4980 -structure hashmap -scheme hyaline
 //	hyalined -addr 127.0.0.1:0 -scheme hyaline-1s -threads 16
 //	hyalined -bytes -scheme hyaline          # []byte keys/values, GETB/SETB/DELB
+//	hyalined -shards 8 -scheme hyaline       # hash-sharded KV, 8 partitions
 //
 // With -bytes the daemon serves a bytes-valued map (variable-size blob
 // payloads carved from per-size-class slabs inside the same simulated
@@ -22,6 +23,12 @@
 // -coalescewindow latency budget, which is where the batching win comes
 // from when the clients are many and barely pipelined (pair with
 // hyalineload -seq for open-loop driving).
+//
+// With -shards N the daemon serves a hash-sharded KV: N independent
+// structure+tracker partitions, each batch split and applied per shard
+// concurrently. -threads stays the total lease bound, divided across
+// the shards (rounded up, so -shards above -threads still grants every
+// shard one lease).
 //
 // The bound address is printed on startup (useful with port 0); drive it
 // with cmd/hyalineload. On SIGINT the server stops accepting, finishes
@@ -67,6 +74,7 @@ func run(args []string) error {
 		coalesce  = fs.Bool("coalesce", false, "merge apply batches across connections (wins with many low-pipeline clients)")
 		coWindow  = fs.Duration("coalescewindow", server.DefaultCoalesceWindow, "latency budget a non-full coalesced batch waits for more runs (-coalesce only)")
 		writeTO   = fs.Duration("writetimeout", server.DefaultWriteTimeout, "per-Write reply deadline; a peer that stops reading is disconnected (negative disables)")
+		shards    = fs.Int("shards", 1, "hash-shard the KV across N independent structure+tracker partitions (0 or 1 = unsharded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +84,13 @@ func run(args []string) error {
 	}
 	if *pipeline < 1 {
 		return fmt.Errorf("-pipeline %d: at least one command per batch", *pipeline)
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d: the shard count cannot be negative (0 or 1 = unsharded)", *shards)
+	}
+	nshards := *shards
+	if nshards == 0 {
+		nshards = 1
 	}
 
 	// The two payload families expose the same serving surface; front is
@@ -100,21 +115,40 @@ func run(args []string) error {
 		WriteTimeout:   *writeTO,
 		Logf:           logger.Printf,
 	}
-	if *bytesMode {
+	switch {
+	case *bytesMode:
 		st := *structure
 		if st == "hashmap" { // the uint64 default; bytes structures have their own
 			st = "blist"
 		}
-		kvb, err := hyaline.NewKVBytes(st, *scheme, hyaline.KVOptions{
+		kvopts := hyaline.KVOptions{
 			MaxThreads:      *threads,
 			ArenaCap:        *arenaCap,
 			BlobClassBudget: *blobCap,
+		}
+		if nshards > 1 {
+			kvb, err := hyaline.NewShardedKVBytes(st, *scheme, nshards, kvopts)
+			if err != nil {
+				return err
+			}
+			fr, srv = kvb, server.NewBytes(kvb, opts)
+		} else {
+			kvb, err := hyaline.NewKVBytes(st, *scheme, kvopts)
+			if err != nil {
+				return err
+			}
+			fr, srv = kvb, server.NewBytes(kvb, opts)
+		}
+	case nshards > 1:
+		kv, err := hyaline.NewShardedKV(*structure, *scheme, nshards, hyaline.KVOptions{
+			MaxThreads: *threads,
+			ArenaCap:   *arenaCap,
 		})
 		if err != nil {
 			return err
 		}
-		fr, srv = kvb, server.NewBytes(kvb, opts)
-	} else {
+		fr, srv = kv, server.New(kv, opts)
+	default:
 		kv, err := hyaline.NewKV(*structure, *scheme, hyaline.KVOptions{
 			MaxThreads: *threads,
 			ArenaCap:   *arenaCap,
@@ -129,8 +163,8 @@ func run(args []string) error {
 		return err
 	}
 
-	logger.Printf("listening on %s (structure=%s scheme=%s threads=%d pipeline=%d bytes=%v coalesce=%v)",
-		ln.Addr(), fr.Structure(), fr.Scheme(), fr.MaxThreads(), *pipeline, *bytesMode, *coalesce)
+	logger.Printf("listening on %s (structure=%s scheme=%s threads=%d shards=%d pipeline=%d bytes=%v coalesce=%v)",
+		ln.Addr(), fr.Structure(), fr.Scheme(), fr.MaxThreads(), fr.Snapshot().Shards, *pipeline, *bytesMode, *coalesce)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

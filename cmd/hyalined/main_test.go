@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation: invalid knobs must abort with a message naming
+// the offending flag before the daemon binds its listen address.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"negative threads", []string{"-threads=-1"}, "-threads"},
+		{"zero pipeline", []string{"-pipeline=0"}, "-pipeline"},
+		{"negative pipeline", []string{"-pipeline=-4"}, "-pipeline"},
+		{"negative shards", []string{"-shards=-1"}, "-shards"},
+		{"negative shards with threads", []string{"-shards=-8", "-threads=4"}, "-shards"},
+		{"unknown structure", []string{"-structure=no-such", "-addr=127.0.0.1:0"}, "no-such"},
+		{"unknown scheme sharded", []string{"-shards=4", "-scheme=no-such", "-addr=127.0.0.1:0"}, "no-such"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.args)
+			if err == nil {
+				t.Fatalf("run(%v) accepted an invalid configuration", c.args)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("run(%v) error %q does not name %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+// TestShardsAboveThreads: -shards beyond -threads is legal — the lease
+// bound is divided across shards rounding up, so every shard still
+// gets at least one lease. The configuration must construct (and then
+// fail only on the deliberately bad listen address, proving validation
+// and KV construction both passed).
+func TestShardsAboveThreads(t *testing.T) {
+	err := run([]string{"-shards=8", "-threads=2", "-addr=256.256.256.256:0"})
+	if err == nil {
+		t.Fatal("run with an unresolvable address succeeded")
+	}
+	if strings.Contains(err.Error(), "-shards") || strings.Contains(err.Error(), "-threads") {
+		t.Fatalf("shards>threads rejected at validation: %v", err)
+	}
+}

@@ -601,8 +601,8 @@ func printServerStats(addr string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  server: structure=%s scheme=%s threads=%d conns=%d total-conns=%d served-ops=%d\n",
-		st.Structure, st.Scheme, st.MaxThreads, st.Conns, st.TotalConns, st.Ops)
+	fmt.Printf("  server: structure=%s scheme=%s threads=%d shards=%d conns=%d total-conns=%d served-ops=%d\n",
+		st.Structure, st.Scheme, st.MaxThreads, st.Shards, st.Conns, st.TotalConns, st.Ops)
 	fmt.Printf("          len=%d live=%d allocated=%d retired=%d freed=%d unreclaimed=%d\n",
 		st.Len, st.Live, st.Allocated, st.Retired, st.Freed, st.Unreclaimed())
 	return nil

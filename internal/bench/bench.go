@@ -121,6 +121,15 @@ type Config struct {
 	// CoalesceWindow is the coalescer's latency budget (0 = the server
 	// default). Ignored unless Coalesce is set.
 	CoalesceWindow time.Duration
+	// Shards partitions the run across N independent structure+tracker
+	// instances (hash-routed keys, the in-process analogue of the
+	// ShardedKV layer): each worker routes every operation's key to its
+	// shard and brackets on that shard's tracker, so writers on
+	// different shards share no structure hot spot and no retire list.
+	// 0 or 1 means a single unsharded instance. In client/server mode
+	// the server is built over a ShardedKV instead. Incompatible with
+	// Trim/Sessions/Stalled/range scans/bytes runs in native mode.
+	Shards int
 	// Pin locks workers to OS threads, approximating the paper's pthread
 	// pinning.
 	Pin bool
@@ -169,6 +178,9 @@ func (c *Config) fill() {
 	if c.BatchSize < 1 {
 		c.BatchSize = 1
 	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
 	if c.Conns > 0 && c.Pipeline < 1 {
 		c.Pipeline = 1
 	}
@@ -209,8 +221,10 @@ type Result struct {
 	Coalesce bool
 	// ValueSize is the bytes-run value size (0 = uint64 payloads).
 	ValueSize int
-	Workload  string
-	Duration  time.Duration
+	// Shards is the partition count (1 = unsharded).
+	Shards   int
+	Workload string
+	Duration time.Duration
 
 	Ops            int64
 	ScannedKeys    int64   // keys visited by range scans (scan-mix only)
@@ -262,6 +276,9 @@ func (r Result) String() string {
 	if r.ValueSize > 0 {
 		row += fmt.Sprintf("  bytes(valuesize=%d)", r.ValueSize)
 	}
+	if r.Shards > 1 {
+		row += fmt.Sprintf("  shards=%d", r.Shards)
+	}
 	return row
 }
 
@@ -286,6 +303,9 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Trim && cfg.Sessions {
 		return Result{}, fmt.Errorf("bench: trim needs a tid held across operations; sessions lease one per operation")
 	}
+	if cfg.Shards < 0 {
+		return Result{}, fmt.Errorf("bench: shard count cannot be negative, got %d", cfg.Shards)
+	}
 	if cfg.Conns > 0 {
 		switch {
 		case cfg.Trim || cfg.Sessions:
@@ -303,6 +323,23 @@ func Run(cfg Config) (Result, error) {
 	}
 	if cfg.Coalesce {
 		return Result{}, fmt.Errorf("bench: coalescing is a serving-layer mode; it needs Conns > 0")
+	}
+	if cfg.Shards > 1 {
+		switch {
+		case cfg.Trim:
+			return Result{}, fmt.Errorf("bench: trim holds one tracker's tid across operations; sharded workers hop trackers per key")
+		case cfg.Sessions:
+			return Result{}, fmt.Errorf("bench: session mode leases tids from one pool; sharded runs bracket per shard (the KV layer's ShardedKV serves that shape)")
+		case cfg.Stalled > 0:
+			return Result{}, fmt.Errorf("bench: sharded runs have no stalled workers (stall a single shard with figure 10a instead)")
+		case cfg.BatchSize > 1:
+			return Result{}, fmt.Errorf("bench: batched brackets assume one tracker; sharded batching is measured through the ShardedKV serve mode")
+		case cfg.Workload.RangePct > 0:
+			return Result{}, fmt.Errorf("bench: native sharded runs have no merged range scans (that is the ShardedKV layer's job)")
+		case bytesMode:
+			return Result{}, fmt.Errorf("bench: no native sharded bytes runs; drive hyalined -bytes -shards with hyalineload instead")
+		}
+		return runSharded(cfg)
 	}
 	total := cfg.Threads + cfg.Stalled
 	tcfg := cfg.Tracker
@@ -564,6 +601,7 @@ sampling:
 		Goroutines:     goroutines,
 		BatchSize:      cfg.BatchSize,
 		ValueSize:      cfg.ValueSize,
+		Shards:         1,
 		Workload:       cfg.Workload.Name(),
 		Duration:       elapsed,
 		Ops:            ops,

@@ -67,8 +67,9 @@ type Figure struct {
 	// Metric selects what the figure plots: "throughput" (Mops/s) or
 	// "unreclaimed" (average retired-but-not-freed objects).
 	Metric string
-	// Sweep is the x-axis: "threads", "stalled" or "conns" (client/
-	// server mode: x is the loopback connection count).
+	// Sweep is the x-axis: "threads", "stalled", "conns" (client/
+	// server mode: x is the loopback connection count) or "shards"
+	// (x is the partition count at a fixed worker count).
 	Sweep string
 	// Xs overrides the sweep's default x values for this figure (the
 	// explicit RunOptions.Xs still wins). Figures whose interesting
@@ -311,6 +312,28 @@ func AllFigures() []Figure {
 		Xs:        []int{1, 8, 64, 256, 1024, 4096},
 		Curves:    coalesceCurves,
 	})
+	// Figure 26: what horizontal partitioning buys a write-heavy mix.
+	// The structure is the sorted linked list — the most contended shape
+	// in the registry: every writer walks and CASes the same chain, so a
+	// single instance flatlines as threads grow no matter how well the
+	// scheme reclaims. Sharding divides both the contention and the walk
+	// length by N; the sweep holds the worker count fixed and grows the
+	// partition count across the four scheme families.
+	figs = append(figs, Figure{
+		ID:        "26",
+		Caption:   "x86-64: list write-heavy throughput vs shard count at a fixed worker count (reproduction extension)",
+		Structure: "list",
+		Workload:  WriteHeavy,
+		Metric:    "throughput",
+		Sweep:     "shards",
+		Xs:        []int{1, 2, 4, 8},
+		Curves: []Curve{
+			{Label: "hyaline", Scheme: "hyaline"},
+			{Label: "epoch", Scheme: "epoch"},
+			{Label: "ibr", Scheme: "ibr"},
+			{Label: "hp", Scheme: "hp"},
+		},
+	})
 	return figs
 }
 
@@ -458,6 +481,9 @@ func (f Figure) Run(opts RunOptions) (Table, error) {
 				cfg.Conns = x
 				cfg.Pipeline = curve.Pipeline
 				cfg.Coalesce = curve.Coalesce
+			case "shards":
+				cfg.Threads = opts.ActiveThreads
+				cfg.Shards = x
 			default:
 				cfg.Threads = x
 			}
@@ -493,6 +519,8 @@ func (t Table) CSV() string {
 		xName = "stalled"
 	case "conns":
 		xName = "conns"
+	case "shards":
+		xName = "shards"
 	}
 	fmt.Fprintf(&b, "# figure %s: %s (metric: %s)\n", t.Figure.ID, t.Figure.Caption, t.Figure.Metric)
 	fmt.Fprintf(&b, "%s,%s\n", xName, strings.Join(labels, ","))

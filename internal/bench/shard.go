@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyaline/internal/arena"
+	"hyaline/internal/ds"
+	"hyaline/internal/smr"
+	"hyaline/internal/trackers"
+)
+
+// shardFor routes a key to one of n partitions: the same murmur3
+// fmix64 mixer the ShardedKV layer uses, so sequential benchmark
+// keyspaces spread uniformly instead of striping.
+func shardFor(key uint64, n int) int {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	key *= 0xc4ceb9fe1a85ec53
+	key ^= key >> 33
+	return int(key % uint64(n))
+}
+
+// benchShard is one independent partition of a sharded run: its own
+// arena, tracker and structure, so nothing — not the CAS hot spots,
+// not the retire batches, not the reclamation counters — is shared
+// across shards.
+type benchShard struct {
+	a  *arena.Arena
+	tr smr.Tracker
+	m  ds.Map
+}
+
+// runSharded executes a Config with Shards > 1 partitions: every
+// worker owns tid w on all shards' trackers and routes each operation
+// to its key's shard, entering and leaving that shard's tracker around
+// the operation (the figure-26 measurement of what horizontal
+// partitioning buys a write-heavy mix). The unreclaimed gauge is
+// summed across the shard trackers on the same cadence as Run.
+func runSharded(cfg Config) (Result, error) {
+	nshards := cfg.Shards
+	total := cfg.Threads
+	perCap := (cfg.ArenaCap + nshards - 1) / nshards
+	shards := make([]benchShard, nshards)
+	for i := range shards {
+		// Fresh arenas rather than the single-slot cache: the capacity is
+		// virtual until touched, and a sweep reuses nothing across shard
+		// counts anyway.
+		a := arena.New(perCap)
+		a.DisablePoison()
+		tcfg := cfg.Tracker
+		tcfg.MaxThreads = total
+		tr, err := trackers.New(cfg.Scheme, a, tcfg)
+		if err != nil {
+			return Result{}, err
+		}
+		m, err := ds.New(cfg.Structure, a, tr, total)
+		if err != nil {
+			return Result{}, err
+		}
+		shards[i] = benchShard{a: a, tr: tr, m: m}
+	}
+
+	prefillSharded(shards, cfg)
+
+	var (
+		stop    atomic.Bool
+		started sync.WaitGroup
+		done    sync.WaitGroup
+		release = make(chan struct{})
+		opCount = make([]paddedCounter, total)
+	)
+	for w := 0; w < total; w++ {
+		started.Add(1)
+		done.Add(1)
+		go func(w int) {
+			defer done.Done()
+			if cfg.Pin {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			rng := rand.New(rand.NewSource(int64(w)*2654435761 + 1))
+			started.Done()
+			<-release
+			ops := int64(0)
+			for !stop.Load() {
+				key := uint64(rng.Int63n(int64(cfg.KeyRange)))
+				mix := rng.Intn(100)
+				sh := &shards[shardFor(key, nshards)]
+				sh.tr.Enter(w)
+				switch {
+				case mix < cfg.Workload.InsertPct:
+					sh.m.Insert(w, key, key*31+7)
+				case mix < cfg.Workload.InsertPct+cfg.Workload.DeletePct:
+					sh.m.Delete(w, key)
+				default:
+					sh.m.Get(w, key)
+				}
+				sh.tr.Leave(w)
+				ops++
+			}
+			opCount[w].v.Store(ops)
+		}(w)
+	}
+
+	started.Wait()
+	start := time.Now()
+	close(release)
+
+	var (
+		samples int64
+		sumUn   float64
+		maxUn   int64
+	)
+	ticker := time.NewTicker(5 * time.Millisecond)
+	deadline := time.After(cfg.Duration)
+sampling:
+	for {
+		select {
+		case <-ticker.C:
+			un := int64(0)
+			for i := range shards {
+				un += shards[i].tr.Stats().Unreclaimed()
+			}
+			sumUn += float64(un)
+			samples++
+			if un > maxUn {
+				maxUn = un
+			}
+		case <-deadline:
+			break sampling
+		}
+	}
+	ticker.Stop()
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(start)
+
+	var ops int64
+	for i := range opCount {
+		ops += opCount[i].v.Load()
+	}
+	avg := 0.0
+	if samples > 0 {
+		avg = sumUn / float64(samples)
+	}
+	var final smr.Stats
+	for i := range shards {
+		st := shards[i].tr.Stats()
+		final.Allocated += st.Allocated
+		final.Retired += st.Retired
+		final.Freed += st.Freed
+	}
+	return Result{
+		Structure:      cfg.Structure,
+		Scheme:         cfg.Scheme,
+		Threads:        cfg.Threads,
+		BatchSize:      cfg.BatchSize,
+		Shards:         nshards,
+		Workload:       cfg.Workload.Name(),
+		Duration:       elapsed,
+		Ops:            ops,
+		ThroughputMops: float64(ops) / elapsed.Seconds() / 1e6,
+		AvgUnreclaimed: avg,
+		MaxUnreclaimed: maxUn,
+		FinalStats:     final,
+	}, nil
+}
+
+// prefillSharded is prefill with routing: cfg.Prefill distinct random
+// keys inserted into their owning shards.
+func prefillSharded(shards []benchShard, cfg Config) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Threads {
+		workers = cfg.Threads
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var inserted atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tid) + 12345))
+			for inserted.Load() < int64(cfg.Prefill) {
+				key := uint64(rng.Int63n(int64(cfg.KeyRange)))
+				sh := &shards[shardFor(key, len(shards))]
+				sh.tr.Enter(tid)
+				if sh.m.Insert(tid, key, key*31+7) {
+					inserted.Add(1)
+				}
+				sh.tr.Leave(tid)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

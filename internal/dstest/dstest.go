@@ -132,6 +132,7 @@ func RunAll(t *testing.T, f Factory, opts Options) {
 			t.Run("ScanPinning", func(t *testing.T) { ScanPinning(t, f, scheme, opts) })
 			t.Run("SessionChurn", func(t *testing.T) { SessionChurn(t, f, scheme, opts) })
 			t.Run("BatchChurn", func(t *testing.T) { BatchChurn(t, f, scheme, opts) })
+			t.Run("ShardedChurn", func(t *testing.T) { ShardedChurn(t, f, scheme, opts) })
 		})
 	}
 }

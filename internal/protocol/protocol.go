@@ -246,6 +246,16 @@ func NewReader(src io.Reader) *Reader {
 // yet consumed as frames.
 func (rd *Reader) Buffered() int { return rd.w - rd.r }
 
+// Reset discards any buffered bytes and any sticky error and redirects
+// the Reader to decode from src, keeping the grown internal buffer. It
+// lets a decoder be reused across connections (or across replayed
+// pipeline windows) without reallocating.
+func (rd *Reader) Reset(src io.Reader) {
+	rd.src = src
+	rd.r, rd.w = 0, 0
+	rd.err = nil
+}
+
 // ReadFrame decodes the next frame, blocking on the underlying stream as
 // needed. A clean close at a frame boundary returns io.EOF; mid-frame it
 // returns io.ErrUnexpectedEOF. Errors are sticky.
@@ -624,7 +634,8 @@ func KeyValB(p []byte) (key, val []byte, err error) {
 type Stats struct {
 	Structure  string // data structure name
 	Scheme     string // reclamation scheme name
-	MaxThreads uint64 // leased-tid bound of the KV
+	MaxThreads uint64 // leased-tid bound of the KV (total across shards)
+	Shards     uint64 // independent KV partitions (1 = unsharded)
 	Conns      uint64 // currently open connections
 	TotalConns uint64 // connections accepted since start
 	Ops        uint64 // operations served since start
@@ -641,7 +652,7 @@ func (s Stats) Unreclaimed() uint64 { return s.Retired - s.Freed }
 
 // statsNumFields is the count of fixed uint64 fields after the two
 // length-prefixed name strings.
-const statsNumFields = 9
+const statsNumFields = 10
 
 // AppendStatsReply appends a StatusOK STATS reply. Panics if a name
 // exceeds 255 bytes (scheme/structure names are short identifiers).
@@ -656,8 +667,8 @@ func AppendStatsReply(b []byte, s Stats) []byte {
 	b = append(b, byte(len(s.Scheme)))
 	b = append(b, s.Scheme...)
 	for _, v := range [statsNumFields]uint64{
-		s.MaxThreads, s.Conns, s.TotalConns, s.Ops, s.Len, s.Live,
-		s.Allocated, s.Retired, s.Freed,
+		s.MaxThreads, s.Shards, s.Conns, s.TotalConns, s.Ops, s.Len,
+		s.Live, s.Allocated, s.Retired, s.Freed,
 	} {
 		b = binary.LittleEndian.AppendUint64(b, v)
 	}
@@ -690,8 +701,8 @@ func ParseStats(p []byte) (Stats, error) {
 		return Stats{}, fmt.Errorf("protocol: stats payload has %d trailing bytes, want %d", len(p), 8*statsNumFields)
 	}
 	for _, dst := range [statsNumFields]*uint64{
-		&s.MaxThreads, &s.Conns, &s.TotalConns, &s.Ops, &s.Len, &s.Live,
-		&s.Allocated, &s.Retired, &s.Freed,
+		&s.MaxThreads, &s.Shards, &s.Conns, &s.TotalConns, &s.Ops, &s.Len,
+		&s.Live, &s.Allocated, &s.Retired, &s.Freed,
 	} {
 		*dst = binary.LittleEndian.Uint64(p)
 		p = p[8:]

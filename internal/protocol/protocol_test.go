@@ -133,6 +133,7 @@ func TestStatsRoundTrip(t *testing.T) {
 		Structure:  "hashmap",
 		Scheme:     "hyaline-1s",
 		MaxThreads: 16,
+		Shards:     8,
 		Conns:      3,
 		TotalConns: 99,
 		Ops:        1 << 40,

@@ -32,13 +32,27 @@ func init() { bench.RegisterServeRunner(RunBench) }
 // completions; the unreclaimed gauge is sampled server-side exactly like
 // the in-process harness samples it.
 func RunBench(cfg bench.Config) (bench.Result, error) {
-	kv, err := hyaline.NewKV(cfg.Structure, cfg.Scheme, hyaline.KVOptions{
+	// The server's store: unsharded by default, a ShardedKV when the
+	// config asks for partitions (cfg.Threads stays the total lease
+	// bound, divided across the shards).
+	var kv benchStore
+	opts := hyaline.KVOptions{
 		MaxThreads: cfg.Threads,
 		ArenaCap:   cfg.ArenaCap,
 		Tracker:    cfg.Tracker,
-	})
-	if err != nil {
-		return bench.Result{}, err
+	}
+	if cfg.Shards > 1 {
+		skv, err := hyaline.NewShardedKV(cfg.Structure, cfg.Scheme, cfg.Shards, opts)
+		if err != nil {
+			return bench.Result{}, err
+		}
+		kv = skv
+	} else {
+		ukv, err := hyaline.NewKV(cfg.Structure, cfg.Scheme, opts)
+		if err != nil {
+			return bench.Result{}, err
+		}
+		kv = ukv
 	}
 	prefillKV(kv, cfg.Prefill, cfg.KeyRange)
 
@@ -192,6 +206,7 @@ sampling:
 		Structure:      cfg.Structure,
 		Scheme:         cfg.Scheme,
 		Threads:        cfg.Threads,
+		Shards:         cfg.Shards,
 		Conns:          cfg.Conns,
 		Pipeline:       cfg.Pipeline,
 		Coalesce:       cfg.Coalesce,
@@ -214,9 +229,18 @@ type paddedCount struct {
 	_ [7]uint64
 }
 
+// benchStore is the slice of the store surface RunBench itself uses,
+// satisfied by *hyaline.KV and *hyaline.ShardedKV (both also satisfy
+// Store for the server).
+type benchStore interface {
+	Store
+	Apply(ops []hyaline.Op) []hyaline.Result
+	Stats() hyaline.Stats
+}
+
 // prefillKV inserts exactly n distinct random keys through the batch
 // API (duplicates retry until the count is reached).
-func prefillKV(kv *hyaline.KV, n int, keyRange uint64) {
+func prefillKV(kv benchStore, n int, keyRange uint64) {
 	rng := rand.New(rand.NewSource(12345))
 	ops := make([]hyaline.Op, 0, 512)
 	inserted := 0

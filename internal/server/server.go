@@ -88,14 +88,34 @@ type Options struct {
 	Logf func(format string, args ...any)
 }
 
-// Server serves one hyaline.KV — or one hyaline.KVBytes — over TCP.
-// Exactly one of kv/kvb is non-nil: a server speaks either the uint64
-// data ops (GET/SET/DEL) or the bytes ops (GETB/SETB/DELB), plus the
-// meta commands in both modes. A data op of the other family is a
-// protocol error, like any other malformed request.
+// Store is the uint64 surface a server needs from its backing map:
+// the batched apply (every data run funnels through it) plus the
+// gauges STATS/LEN report. Both *hyaline.KV and *hyaline.ShardedKV
+// satisfy it — a sharded store splits each coalesced batch into
+// per-shard runs internally, so shard routing costs the server
+// nothing.
+type Store interface {
+	ApplyInto(dst []hyaline.Result, ops []hyaline.Op) []hyaline.Result
+	Len() int
+	Snapshot() hyaline.Snapshot
+}
+
+// BytesStore is the bytes-mode counterpart of Store, satisfied by
+// *hyaline.KVBytes and *hyaline.ShardedKVBytes.
+type BytesStore interface {
+	ApplyBytesInto(dst []hyaline.BytesResult, buf []byte, ops []hyaline.BytesOp) ([]hyaline.BytesResult, []byte)
+	Len() int
+	Snapshot() hyaline.Snapshot
+}
+
+// Server serves one Store — or one BytesStore — over TCP. Exactly one
+// of kv/kvb is non-nil: a server speaks either the uint64 data ops
+// (GET/SET/DEL) or the bytes ops (GETB/SETB/DELB), plus the meta
+// commands in both modes. A data op of the other family is a protocol
+// error, like any other malformed request.
 type Server struct {
-	kv           *hyaline.KV
-	kvb          *hyaline.KVBytes
+	kv           Store
+	kvb          BytesStore
 	maxPipeline  int
 	writeTimeout time.Duration
 	co           *coalescer // non-nil iff Options.Coalesce
@@ -112,9 +132,10 @@ type Server struct {
 	batches  atomic.Int64 // kv.Apply calls issued
 }
 
-// New builds a server over kv. The KV stays owned by the caller: it is
-// shared with any in-process users and is not closed by Shutdown.
-func New(kv *hyaline.KV, opts Options) *Server {
+// New builds a server over kv (a *hyaline.KV or *hyaline.ShardedKV).
+// The store stays owned by the caller: it is shared with any
+// in-process users and is not closed by Shutdown.
+func New(kv Store, opts Options) *Server {
 	s := newServer(opts)
 	s.kv = kv
 	if opts.Coalesce {
@@ -126,7 +147,7 @@ func New(kv *hyaline.KV, opts Options) *Server {
 // NewBytes builds a server over a bytes KV: it serves GETB/SETB/DELB
 // instead of the uint64 data ops, with the same pipelining, batching
 // and drain behaviour.
-func NewBytes(kvb *hyaline.KVBytes, opts Options) *Server {
+func NewBytes(kvb BytesStore, opts Options) *Server {
 	s := newServer(opts)
 	s.kvb = kvb
 	if opts.Coalesce {
@@ -303,6 +324,7 @@ func (s *Server) appendStats(b []byte) []byte {
 		Structure:  snap.Structure,
 		Scheme:     snap.Scheme,
 		MaxThreads: uint64(snap.MaxThreads),
+		Shards:     uint64(snap.Shards),
 		Conns:      uint64(active),
 		TotalConns: uint64(accepted),
 		Ops:        uint64(served),

@@ -1,0 +1,8 @@
+//go:build race
+
+package session
+
+// raceEnabled reports whether the race detector is compiled in; it
+// deliberately randomizes sync.Pool caching, which defeats tests that
+// assert the affine hint's determinism.
+const raceEnabled = true

@@ -28,11 +28,23 @@
 // at least one tid). Tids are split as evenly as possible: the first
 // max%shards shards own one extra tid.
 //
-// Acquire picks a pseudo-random home shard (a per-thread PRNG draw, no
-// shared state) and claims the lowest free bit there; when the home
-// shard's word is empty it steals, scanning the remaining shards in
-// order. Release always returns a tid to the shard that owns it, so a
-// tid's freelist bit lives at a fixed address for the pool's lifetime.
+// Acquire picks a home shard and claims the lowest free bit there; when
+// the home shard's word is empty it steals, scanning the remaining
+// shards in order. Release always returns a tid to the shard that owns
+// it, so a tid's freelist bit lives at a fixed address for the pool's
+// lifetime.
+//
+// The home shard is P-affine when the machine is wide enough: each pool
+// keeps a sync.Pool of hint cells (pointers into a preallocated array,
+// so the hint path never allocates), and sync.Pool's per-P caches make a
+// goroutine overwhelmingly likely to get back the hint cell last used on
+// its P. The hint remembers the shard the previous acquisition on this P
+// succeeded on, so consecutive acquirers on one P CAS the same freelist
+// word — already exclusive in that core's cache — instead of scattering
+// CAS traffic (and the tids' tracker state) across all shard lines the
+// way a random draw does. When GOMAXPROCS < shards the hints cannot
+// cover every shard and the pool falls back to the pseudo-random home
+// (a per-thread PRNG draw, no shared state).
 //
 // Exclusive leasing is what makes sharing a tid across goroutines safe:
 // the Release CAS and the Acquire CAS on the same shard word form a
@@ -45,11 +57,18 @@ import (
 	"math/bits"
 	"math/rand/v2"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"hyaline/internal/ptr"
 	"hyaline/internal/smr"
 )
+
+// forceRandomHome disables the P-affine home-shard hint at pool
+// construction, falling back to the pseudo-random draw. A package-level
+// knob (not an option) because it exists only so tests and benchmarks
+// can compare the two policies.
+var forceRandomHome = false
 
 // acquireSpins is how many Gosched rounds Acquire burns before parking.
 // Leases are held for a handful of map operations, so a short spin
@@ -72,6 +91,15 @@ type freeShard struct {
 	_    [52]byte
 }
 
+// homeHint is one P-affine home-shard cell (see the package doc). The
+// padding keeps hints handed to different Ps off each other's cache
+// lines; the shard index is atomic because sync.Pool's steal path can
+// briefly hand the same cell to two Ps.
+type homeHint struct {
+	home atomic.Uint32
+	_    [60]byte
+}
+
 // Pool leases the tids of one tracker to goroutines.
 type Pool struct {
 	tr   smr.Tracker
@@ -81,6 +109,15 @@ type Pool struct {
 
 	// shards is the tid freelist (see the package doc's word layout).
 	shards []freeShard
+
+	// affine selects the P-affine home policy; hints is the preallocated
+	// cell array hintPool hands out (its New draws cells round-robin via
+	// nextHint, so the initial homes cover every shard without a heap
+	// allocation even on the New path).
+	affine   bool
+	hints    []homeHint
+	hintPool sync.Pool
+	nextHint atomic.Uint32
 
 	// sessions[tid] is the preallocated handle leased together with tid,
 	// so Acquire never touches the Go heap.
@@ -135,6 +172,16 @@ func newPoolShards(tr smr.Tracker, maxThreads, shards int) *Pool {
 	}
 	p.trim, _ = tr.(smr.Trimmer)
 	p.fl, _ = tr.(smr.Flusher)
+	p.affine = !forceRandomHome && shards > 1 && runtime.GOMAXPROCS(0) >= shards
+	if p.affine {
+		p.hints = make([]homeHint, shards)
+		for i := range p.hints {
+			p.hints[i].home.Store(uint32(i))
+		}
+		p.hintPool.New = func() any {
+			return &p.hints[int(p.nextHint.Add(1)-1)%len(p.hints)]
+		}
+	}
 	p.sessions = make([]Session, maxThreads)
 	q, r := maxThreads/shards, maxThreads%shards
 	base := 0
@@ -165,18 +212,27 @@ func (p *Pool) MaxThreads() int { return p.max }
 func (p *Pool) Tracker() smr.Tracker { return p.tr }
 
 // TryAcquire leases a tid without blocking. It fails only when every
-// tid is currently leased. The scan starts at a pseudo-random home shard
-// and steals from the others on empty, so concurrent acquirers spread
-// over the shard words instead of serializing on the first one.
+// tid is currently leased. The scan starts at the home shard — the
+// P-affine hint when active, a pseudo-random draw otherwise — and steals
+// from the others on empty, so concurrent acquirers spread over the
+// shard words instead of serializing on the first one.
 func (p *Pool) TryAcquire() (*Session, bool) {
 	home := 0
-	if len(p.shards) > 1 {
+	var hint *homeHint
+	if p.affine {
+		hint = p.hintPool.Get().(*homeHint)
+		home = int(hint.home.Load())
+	} else if len(p.shards) > 1 {
 		// rand/v2's global generator is per-thread state: no shared word
 		// is touched picking the home shard.
 		home = int(rand.Uint64N(uint64(len(p.shards))))
 	}
 	for k := 0; k < len(p.shards); k++ {
-		sh := &p.shards[(home+k)%len(p.shards)]
+		i := home + k
+		if i >= len(p.shards) {
+			i -= len(p.shards)
+		}
+		sh := &p.shards[i]
 		for {
 			old := sh.bits.Load()
 			if old == 0 {
@@ -184,9 +240,20 @@ func (p *Pool) TryAcquire() (*Session, bool) {
 			}
 			bit := bits.TrailingZeros64(old)
 			if sh.bits.CompareAndSwap(old, old&^(1<<bit)) {
+				if hint != nil {
+					if k != 0 {
+						// A steal moves this P's home to where the free tids
+						// actually are; k == 0 keeps the common path store-free.
+						hint.home.Store(uint32(i))
+					}
+					p.hintPool.Put(hint)
+				}
 				return &p.sessions[int(sh.base)+bit], true
 			}
 		}
+	}
+	if hint != nil {
+		p.hintPool.Put(hint)
 	}
 	return nil, false
 }

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -249,6 +250,173 @@ func TestStealOnEmptyNeverDoubleLeases(t *testing.T) {
 		t.Fatalf("InUse = %d at quiescence", got)
 	}
 }
+
+// withProcs runs f with GOMAXPROCS at least n (some affinity paths only
+// arm on machines at least as wide as the shard count).
+func withProcs(t testing.TB, n int, f func()) {
+	t.Helper()
+	if prev := runtime.GOMAXPROCS(0); prev < n {
+		runtime.GOMAXPROCS(n)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	f()
+}
+
+// TestHomeHintAffinity: with the P-affine policy armed, a single
+// goroutine acquiring and releasing in a loop must keep leasing the same
+// tid — its hint pins the home shard, and the released bit is always the
+// lowest free one there. (The random policy hops shards by design.)
+func TestHomeHintAffinity(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector randomizes sync.Pool caching, breaking hint determinism")
+	}
+	const max, shards = 8, 4
+	withProcs(t, shards, func() {
+		a := arena.New(1 << 16)
+		tr := trackers.MustNew("leaky", a, trackers.Config{MaxThreads: max})
+		p := newPoolShards(tr, max, shards)
+		if !p.affine {
+			t.Fatalf("affine policy not armed with GOMAXPROCS=%d >= shards=%d", runtime.GOMAXPROCS(0), shards)
+		}
+		s := p.Acquire()
+		tid := s.Tid()
+		p.Release(s)
+		for i := 0; i < 100; i++ {
+			s, ok := p.TryAcquire()
+			if !ok {
+				t.Fatalf("TryAcquire failed on an idle pool (round %d)", i)
+			}
+			if s.Tid() != tid {
+				t.Fatalf("round %d leased tid %d, want the affine home's tid %d", i, s.Tid(), tid)
+			}
+			p.Release(s)
+		}
+	})
+}
+
+// TestHomeHintFallsBackToRandom: the affine policy must stay off when
+// the machine is narrower than the shard count (the hints could not
+// cover every shard) and when the test knob forces the random draw.
+func TestHomeHintFallsBackToRandom(t *testing.T) {
+	a := arena.New(1 << 16)
+	tr := trackers.MustNew("leaky", a, trackers.Config{MaxThreads: 8})
+	if p := newPoolShards(tr, 8, 1); p.affine {
+		t.Fatal("affine policy armed with a single shard")
+	}
+	withProcs(t, 2, func() {
+		wide := runtime.GOMAXPROCS(0) + 1
+		tr := trackers.MustNew("leaky", arena.New(1<<16), trackers.Config{MaxThreads: wide})
+		if p := newPoolShards(tr, wide, wide); p.affine {
+			t.Fatalf("affine policy armed with shards=%d > GOMAXPROCS=%d", wide, runtime.GOMAXPROCS(0))
+		}
+		forceRandomHome = true
+		defer func() { forceRandomHome = false }()
+		tr2 := trackers.MustNew("leaky", arena.New(1<<16), trackers.Config{MaxThreads: 8})
+		if p := newPoolShards(tr2, 8, 2); p.affine {
+			t.Fatal("affine policy armed despite forceRandomHome")
+		}
+	})
+}
+
+// TestAffineChurnStaysExclusive is TestStealOnEmptyNeverDoubleLeases
+// with the affine policy armed: hints must never let two goroutines
+// believe they own the same tid. Run with -race for the full check.
+func TestAffineChurnStaysExclusive(t *testing.T) {
+	const (
+		max        = 8
+		shards     = 4
+		goroutines = 24
+		rounds     = 2000
+	)
+	withProcs(t, shards, func() {
+		a := arena.New(1 << 16)
+		tr := trackers.MustNew("epoch", a, trackers.Config{MaxThreads: max})
+		p := newPoolShards(tr, max, shards)
+		if !p.affine {
+			t.Fatalf("affine policy not armed with GOMAXPROCS=%d >= shards=%d", runtime.GOMAXPROCS(0), shards)
+		}
+		var owners [max]atomic.Int32
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					p.Do(func(s *Session) {
+						if n := owners[s.Tid()].Add(1); n != 1 {
+							t.Errorf("tid %d held by %d goroutines", s.Tid(), n)
+						}
+						s.Enter()
+						s.Leave()
+						owners[s.Tid()].Add(-1)
+					})
+				}
+			}()
+		}
+		wg.Wait()
+		if got := p.InUse(); got != 0 {
+			t.Fatalf("InUse = %d at quiescence", got)
+		}
+	})
+}
+
+// TestTryAcquireDoesNotAllocate: the affine hint cells live in a
+// preallocated array, so even the hintPool.New path must not touch the
+// heap — KV batch paths build their zero-allocation guarantee on top of
+// this.
+func TestTryAcquireDoesNotAllocate(t *testing.T) {
+	const max, shards = 8, 4
+	withProcs(t, shards, func() {
+		a := arena.New(1 << 16)
+		tr := trackers.MustNew("leaky", a, trackers.Config{MaxThreads: max})
+		p := newPoolShards(tr, max, shards)
+		if !p.affine {
+			t.Fatalf("affine policy not armed with GOMAXPROCS=%d >= shards=%d", runtime.GOMAXPROCS(0), shards)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			s, ok := p.TryAcquire()
+			if !ok {
+				t.Fatal("TryAcquire failed on an idle pool")
+			}
+			p.Release(s)
+		})
+		if allocs != 0 {
+			t.Fatalf("TryAcquire/Release allocates %.1f times per lease", allocs)
+		}
+	})
+}
+
+// benchmarkAcquireRelease measures the lease round trip under both home
+// policies; run both to see what P-affinity buys (the affine policy's
+// win grows with real core counts — consecutive leases on one P reuse a
+// hot freelist word instead of bouncing cache lines).
+func benchmarkAcquireRelease(b *testing.B, random bool) {
+	forceRandomHome = random
+	defer func() { forceRandomHome = false }()
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 4 {
+		procs = 4
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	}
+	a := arena.New(1 << 16)
+	tr := trackers.MustNew("leaky", a, trackers.Config{MaxThreads: 64})
+	p := newPoolShards(tr, 64, procs)
+	if p.affine == random {
+		b.Fatalf("affine=%v with forceRandomHome=%v", p.affine, random)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s := p.Acquire()
+			s.Enter()
+			s.Leave()
+			p.Release(s)
+		}
+	})
+}
+
+func BenchmarkAcquireReleaseAffine(b *testing.B) { benchmarkAcquireRelease(b, false) }
+func BenchmarkAcquireReleaseRandom(b *testing.B) { benchmarkAcquireRelease(b, true) }
 
 func TestDoubleReleasePanics(t *testing.T) {
 	p, _ := newPool(t, "leaky", 2)

@@ -196,6 +196,7 @@ type Snapshot struct {
 	Structure  string
 	Scheme     string
 	MaxThreads int
+	Shards     int   // independent structure+tracker partitions (1 = unsharded)
 	Len        int   // entries (approximate under churn)
 	Live       int64 // arena nodes currently allocated
 	Stats      Stats // cumulative reclamation counters
@@ -210,6 +211,7 @@ func (kv *KV) Snapshot() Snapshot {
 		Structure:  kv.structure,
 		Scheme:     kv.tr.Name(),
 		MaxThreads: kv.pool.MaxThreads(),
+		Shards:     1,
 		Len:        kv.m.Len(),
 		Live:       kv.a.Live(),
 		Stats:      kv.tr.Stats(),

@@ -135,6 +135,7 @@ func (kv *KVBytes) Snapshot() Snapshot {
 		Structure:  kv.structure,
 		Scheme:     kv.tr.Name(),
 		MaxThreads: kv.pool.MaxThreads(),
+		Shards:     1,
 		Len:        kv.m.Len(),
 		Live:       kv.a.Live(),
 		Stats:      kv.tr.Stats(),

@@ -1,0 +1,452 @@
+package hyaline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ShardedKV is a hash-partitioned KV: N fully independent shards, each
+// a complete KV with its own data structure, tracker, arena, and
+// session pool. A key always lives on exactly one shard (a mixed hash
+// of the key mod N), so writers touching different shards never share
+// a CAS hot spot, a retire list, or a tid bitmap — structure-level
+// contention and reclamation pressure both scale out with N.
+//
+// The surface mirrors KV and routing is invisible to callers:
+// single-key operations delegate to the owning shard; the batch API
+// splits a batch into per-shard sub-batches, executes them
+// concurrently (one session lease + one chunked Enter/Leave bracket
+// per shard, the same discipline as KV.Apply), and scatters results
+// back in caller order. Range performs chunked per-shard scans merged
+// k-way, preserving the sorted, duplicate-free contract of the
+// unsharded scan. Len/Stats/Live/Flush/Snapshot aggregate across
+// shards.
+//
+// Because every shard is a private KV, all nine schemes' safety
+// arguments apply per shard unchanged; there is no cross-shard
+// reclamation protocol to reason about.
+type ShardedKV struct {
+	shards  []*KV
+	scratch sync.Pool // *shardRuns, sized to len(shards)
+}
+
+// NewShardedKV builds a hash-sharded concurrent map: shards
+// independent copies of the named structure over the named scheme.
+// opts carries *total* bounds: MaxThreads (default 2×GOMAXPROCS) and
+// ArenaCap (default 1<<20) are divided across the shards, rounding up
+// so every shard can run at least one operation.
+func NewShardedKV(structure, scheme string, shards int, opts KVOptions) (*ShardedKV, error) {
+	per, err := shardOptions(shards, opts)
+	if err != nil {
+		return nil, err
+	}
+	sk := &ShardedKV{shards: make([]*KV, shards)}
+	for i := range sk.shards {
+		kv, err := NewKV(structure, scheme, per)
+		if err != nil {
+			return nil, err
+		}
+		sk.shards[i] = kv
+	}
+	sk.scratch.New = func() any {
+		return &shardRuns{runs: make([]shardRun, shards), active: make([]int, 0, shards)}
+	}
+	return sk, nil
+}
+
+// shardOptions validates the shard count and derives the per-shard
+// KVOptions from total bounds (shared by NewShardedKV and
+// NewShardedKVBytes).
+func shardOptions(shards int, opts KVOptions) (KVOptions, error) {
+	if shards <= 0 {
+		return KVOptions{}, fmt.Errorf("hyaline: shard count must be positive, got %d", shards)
+	}
+	maxThreads := opts.MaxThreads
+	if maxThreads <= 0 {
+		maxThreads = 2 * runtime.GOMAXPROCS(0)
+	}
+	arenaCap := opts.ArenaCap
+	if arenaCap <= 0 {
+		arenaCap = 1 << 20
+	}
+	blobBudget := opts.BlobClassBudget
+	if blobBudget <= 0 {
+		blobBudget = 1 << 24
+	}
+	per := opts
+	per.MaxThreads = ceilDiv(maxThreads, shards)
+	per.ArenaCap = ceilDiv(arenaCap, shards)
+	per.BlobClassBudget = ceilDiv(blobBudget, shards)
+	return per, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// shardIndex routes a key to its shard. The raw key is mixed first
+// (murmur3 fmix64) so sequential keyspaces — the common benchmark and
+// cache shape — spread uniformly instead of striping by key % N.
+func shardIndex(key uint64, n int) int {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	key *= 0xc4ceb9fe1a85ec53
+	key ^= key >> 33
+	return int(key % uint64(n))
+}
+
+func (sk *ShardedKV) shard(key uint64) *KV {
+	return sk.shards[shardIndex(key, len(sk.shards))]
+}
+
+// Insert adds key→val on the owning shard, failing if the key exists.
+func (sk *ShardedKV) Insert(key, val uint64) bool { return sk.shard(key).Insert(key, val) }
+
+// Delete removes key from the owning shard, failing if it is absent.
+func (sk *ShardedKV) Delete(key uint64) bool { return sk.shard(key).Delete(key) }
+
+// Get returns the value under key.
+func (sk *ShardedKV) Get(key uint64) (uint64, bool) { return sk.shard(key).Get(key) }
+
+// shardRun is one shard's slice of a routed batch: the ops bound for
+// that shard, each op's position in the caller's batch, and the
+// shard-local results awaiting scatter.
+type shardRun struct {
+	ops []Op
+	idx []int
+	res []Result
+}
+
+// shardRuns is the pooled per-batch scratch: one run per shard plus
+// the list of shards that received work.
+type shardRuns struct {
+	runs   []shardRun
+	active []int
+}
+
+func (sk *ShardedKV) takeRuns() *shardRuns {
+	return sk.scratch.Get().(*shardRuns)
+}
+
+func (sk *ShardedKV) putRuns(sr *shardRuns) {
+	for _, s := range sr.active {
+		r := &sr.runs[s]
+		r.ops = r.ops[:0]
+		r.idx = r.idx[:0]
+		r.res = r.res[:0]
+	}
+	sr.active = sr.active[:0]
+	sk.scratch.Put(sr)
+}
+
+// Apply executes ops in batch order and returns one Result per op.
+// Semantics match KV.Apply; see ApplyInto for the routing mechanics.
+func (sk *ShardedKV) Apply(ops []Op) []Result {
+	if len(ops) == 0 {
+		return nil
+	}
+	return sk.ApplyInto(make([]Result, 0, len(ops)), ops)
+}
+
+// ApplyInto appends one Result per op to dst and returns it. The batch
+// is split into per-shard sub-batches which execute concurrently —
+// each under its own shard's session lease and chunked Enter/Leave
+// bracket — and results are scattered back so dst[i] always answers
+// ops[i], exactly as if the batch had run on an unsharded KV. Ops for
+// the same key land on the same shard in batch order, so per-key
+// ordering is preserved; like KV.Apply, no atomicity is promised
+// across distinct keys.
+//
+// Reusing dst (and the ops slice) across calls keeps the routed apply
+// free of per-call allocation beyond what the sub-batches themselves
+// need; the routing scratch is pooled.
+func (sk *ShardedKV) ApplyInto(dst []Result, ops []Op) []Result {
+	if len(ops) == 0 {
+		return dst
+	}
+	if len(sk.shards) == 1 {
+		return sk.shards[0].ApplyInto(dst, ops)
+	}
+	sr := sk.takeRuns()
+	for i := range ops {
+		op := &ops[i]
+		if op.Kind > OpDelete {
+			sk.putRuns(sr)
+			panic(fmt.Sprintf("hyaline: Apply op %d has unknown kind %d", i, op.Kind))
+		}
+		s := shardIndex(op.Key, len(sk.shards))
+		r := &sr.runs[s]
+		if len(r.ops) == 0 {
+			sr.active = append(sr.active, s)
+		}
+		r.ops = append(r.ops, *op)
+		r.idx = append(r.idx, i)
+	}
+	sk.execRuns(sr)
+	base := len(dst)
+	dst = growResults(dst, len(ops))
+	for _, s := range sr.active {
+		r := &sr.runs[s]
+		for j, pos := range r.idx {
+			dst[base+pos] = r.res[j]
+		}
+	}
+	sk.putRuns(sr)
+	return dst
+}
+
+// execRuns applies every non-empty run on its shard. The last run
+// executes on the calling goroutine; the rest get a goroutine each, so
+// a batch confined to one shard pays no spawn at all.
+func (sk *ShardedKV) execRuns(sr *shardRuns) {
+	last := len(sr.active) - 1
+	var wg sync.WaitGroup
+	for _, s := range sr.active[:last] {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r := &sr.runs[s]
+			r.res = sk.shards[s].ApplyInto(r.res[:0], r.ops)
+		}(s)
+	}
+	s := sr.active[last]
+	r := &sr.runs[s]
+	r.res = sk.shards[s].ApplyInto(r.res[:0], r.ops)
+	wg.Wait()
+}
+
+// growResults extends dst by n elements (every one of which the
+// scatter loop overwrites).
+func growResults(dst []Result, n int) []Result {
+	base := len(dst)
+	if cap(dst) < base+n {
+		nd := make([]Result, base+n)
+		copy(nd, dst)
+		return nd
+	}
+	return dst[:base+n]
+}
+
+// InsertBatch inserts keys[i]→vals[i] across the shards, reporting
+// per-key success. Panics if the slices differ in length.
+func (sk *ShardedKV) InsertBatch(keys, vals []uint64) []bool {
+	if len(keys) != len(vals) {
+		panic(fmt.Sprintf("hyaline: InsertBatch got %d keys but %d vals", len(keys), len(vals)))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	ops := make([]Op, len(keys))
+	for i := range keys {
+		ops[i] = Op{Kind: OpInsert, Key: keys[i], Val: vals[i]}
+	}
+	res := sk.Apply(ops)
+	ok := make([]bool, len(res))
+	for i := range res {
+		ok[i] = res[i].OK
+	}
+	return ok
+}
+
+// DeleteBatch deletes every key, reporting per-key success.
+func (sk *ShardedKV) DeleteBatch(keys []uint64) []bool {
+	if len(keys) == 0 {
+		return nil
+	}
+	ops := make([]Op, len(keys))
+	for i := range keys {
+		ops[i] = Op{Kind: OpDelete, Key: keys[i]}
+	}
+	res := sk.Apply(ops)
+	ok := make([]bool, len(res))
+	for i := range res {
+		ok[i] = res[i].OK
+	}
+	return ok
+}
+
+// GetBatch appends one Result per key to dst and returns it.
+func (sk *ShardedKV) GetBatch(dst []Result, keys []uint64) []Result {
+	if len(keys) == 0 {
+		return dst
+	}
+	ops := make([]Op, len(keys))
+	for i := range keys {
+		ops[i] = Op{Kind: OpGet, Key: keys[i]}
+	}
+	return sk.ApplyInto(dst, ops)
+}
+
+// kvPair is one merged-scan entry buffered between a shard's chunked
+// pull and the caller's fn.
+type kvPair struct{ k, v uint64 }
+
+// shardScan is a pull-based cursor over one shard's slice of [lo, hi]:
+// it draws up to batchChunk entries per refill via the shard's own
+// chunked Range (so each pull is one lease + one bracket, and the
+// shard's reclamation is re-armed between pulls).
+type shardScan struct {
+	kv   *KV
+	hi   uint64
+	next uint64
+	buf  []kvPair
+	i    int
+	done bool
+}
+
+// refill loads the next chunk. Call only when the buffer is drained
+// and the scan is not done.
+func (sc *shardScan) refill() {
+	sc.buf = sc.buf[:0]
+	sc.i = 0
+	visited := 0
+	last := sc.next
+	// The structure was verified ordered up front, so Range cannot err.
+	_ = sc.kv.Range(sc.next, sc.hi, func(k, v uint64) bool {
+		sc.buf = append(sc.buf, kvPair{k, v})
+		last = k
+		visited++
+		return visited < batchChunk
+	})
+	// A short chunk means the shard is exhausted; last == hi also
+	// guards cursor overflow at hi = 2^64-1 (mirrors KV.Range).
+	if visited < batchChunk || last == sc.hi {
+		sc.done = true
+	} else {
+		sc.next = last + 1
+	}
+}
+
+// Range visits every key in [lo, hi] across all shards in globally
+// ascending order, calling fn(key, val) until fn returns false or the
+// range is exhausted. Each shard holds a disjoint slice of the
+// keyspace and yields it sorted, so a k-way merge of per-shard chunked
+// scans reproduces the unsharded contract exactly: sorted, duplicate-
+// free, and — at quiescence — exact. Like KV.Range this is not an
+// atomic snapshot, and fn must not call back into the KV.
+func (sk *ShardedKV) Range(lo, hi uint64, fn func(key, val uint64) bool) error {
+	for _, s := range sk.shards {
+		if s.r == nil {
+			return fmt.Errorf("hyaline: structure %q does not support range scans (ordered structures only)", s.structure)
+		}
+	}
+	scans := make([]shardScan, len(sk.shards))
+	for i, s := range sk.shards {
+		scans[i] = shardScan{kv: s, hi: hi, next: lo}
+	}
+	for {
+		best := -1
+		for i := range scans {
+			sc := &scans[i]
+			if sc.i >= len(sc.buf) {
+				if sc.done {
+					continue
+				}
+				sc.refill()
+				if sc.i >= len(sc.buf) {
+					continue
+				}
+			}
+			if best < 0 || sc.buf[sc.i].k < scans[best].buf[scans[best].i].k {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		e := scans[best].buf[scans[best].i]
+		scans[best].i++
+		if !fn(e.k, e.v) {
+			return nil
+		}
+	}
+}
+
+// Len counts entries across all shards. Exact at quiescence.
+func (sk *ShardedKV) Len() int {
+	total := 0
+	for _, s := range sk.shards {
+		total += s.Len()
+	}
+	return total
+}
+
+// Stats sums the reclamation counters across all shards.
+func (sk *ShardedKV) Stats() Stats {
+	var t Stats
+	for _, s := range sk.shards {
+		st := s.Stats()
+		t.Allocated += st.Allocated
+		t.Retired += st.Retired
+		t.Freed += st.Freed
+	}
+	return t
+}
+
+// Live sums the arena nodes currently allocated across all shards.
+func (sk *ShardedKV) Live() int64 {
+	var total int64
+	for _, s := range sk.shards {
+		total += s.Live()
+	}
+	return total
+}
+
+// Flush asks every shard's tracker to reclaim whatever is safely
+// reclaimable (see KV-level Flush for the per-shard semantics).
+func (sk *ShardedKV) Flush() {
+	for _, s := range sk.shards {
+		s.Flush()
+	}
+}
+
+// InFlight sums the leases currently held across all shards.
+func (sk *ShardedKV) InFlight() int {
+	total := 0
+	for _, s := range sk.shards {
+		total += s.InFlight()
+	}
+	return total
+}
+
+// MaxThreads returns the total in-flight bound: the sum of the
+// per-shard lease bounds (≥ the MaxThreads requested at construction).
+func (sk *ShardedKV) MaxThreads() int {
+	total := 0
+	for _, s := range sk.shards {
+		total += s.MaxThreads()
+	}
+	return total
+}
+
+// Scheme returns the reclamation scheme name (identical on every
+// shard).
+func (sk *ShardedKV) Scheme() string { return sk.shards[0].Scheme() }
+
+// Structure returns the data structure name (identical on every
+// shard).
+func (sk *ShardedKV) Structure() string { return sk.shards[0].Structure() }
+
+// Shards returns the number of partitions.
+func (sk *ShardedKV) Shards() int { return len(sk.shards) }
+
+// Snapshot aggregates the per-shard summaries: Len/Live/Stats are
+// summed, MaxThreads is the total bound, Shards reports the partition
+// count.
+func (sk *ShardedKV) Snapshot() Snapshot {
+	snap := Snapshot{
+		Structure:  sk.Structure(),
+		Scheme:     sk.Scheme(),
+		MaxThreads: sk.MaxThreads(),
+		Shards:     len(sk.shards),
+	}
+	for _, s := range sk.shards {
+		snap.Len += s.Len()
+		snap.Live += s.Live()
+		st := s.Stats()
+		snap.Stats.Allocated += st.Allocated
+		snap.Stats.Retired += st.Retired
+		snap.Stats.Freed += st.Freed
+	}
+	return snap
+}

@@ -1,0 +1,370 @@
+package hyaline_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hyaline"
+)
+
+func mustShardedKV(t testing.TB, structure, scheme string, shards int, opts hyaline.KVOptions) *hyaline.ShardedKV {
+	t.Helper()
+	kv, err := hyaline.NewShardedKV(structure, scheme, shards, opts)
+	if err != nil {
+		t.Fatalf("NewShardedKV(%s, %s, %d): %v", structure, scheme, shards, err)
+	}
+	return kv
+}
+
+func TestShardedKVConstructErrors(t *testing.T) {
+	for _, shards := range []int{0, -1, -8} {
+		if _, err := hyaline.NewShardedKV("list", "hyaline", shards, hyaline.KVOptions{}); err == nil {
+			t.Errorf("NewShardedKV with %d shards succeeded, want error", shards)
+		}
+	}
+	if _, err := hyaline.NewShardedKV("no-such-structure", "hyaline", 4, hyaline.KVOptions{}); err == nil {
+		t.Error("unknown structure accepted")
+	}
+	if _, err := hyaline.NewShardedKV("list", "no-such-scheme", 4, hyaline.KVOptions{}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestShardedKVBasic(t *testing.T) {
+	const shards = 4
+	kv := mustShardedKV(t, "list", "hyaline", shards, hyaline.KVOptions{MaxThreads: 8})
+	const n = 500
+	for k := uint64(0); k < n; k++ {
+		if !kv.Insert(k, kvChecksum(k)) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+		if kv.Insert(k, 0) {
+			t.Fatalf("duplicate Insert(%d) succeeded", k)
+		}
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok := kv.Get(k)
+		if !ok || v != kvChecksum(k) {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if _, ok := kv.Get(n + 1); ok {
+		t.Fatal("Get of absent key hit")
+	}
+	if got := kv.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	if got := kv.Shards(); got != shards {
+		t.Fatalf("Shards = %d, want %d", got, shards)
+	}
+	if kv.Structure() != "list" || kv.Scheme() != "hyaline" {
+		t.Fatalf("Structure/Scheme = %q/%q", kv.Structure(), kv.Scheme())
+	}
+	if got := kv.MaxThreads(); got < 8 {
+		t.Fatalf("MaxThreads = %d, want >= 8 (total bound)", got)
+	}
+	snap := kv.Snapshot()
+	if snap.Shards != shards || snap.Len != n || snap.Structure != "list" || snap.Scheme != "hyaline" {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+	if snap.Stats.Allocated < n || snap.Live < int64(n) {
+		t.Fatalf("aggregate accounting too small: %+v", snap)
+	}
+	for k := uint64(0); k < n; k += 2 {
+		if !kv.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+		if kv.Delete(k) {
+			t.Fatalf("double Delete(%d) succeeded", k)
+		}
+	}
+	if got := kv.Len(); got != n/2 {
+		t.Fatalf("Len after deletes = %d, want %d", got, n/2)
+	}
+	kv.Flush()
+	if got := kv.InFlight(); got != 0 {
+		t.Fatalf("InFlight at quiescence = %d", got)
+	}
+}
+
+// TestShardedKVApplyMatchesUnsharded drives identical op sequences —
+// duplicate keys, cross-shard batches, deletes of absent keys —
+// through a sharded and an unsharded KV: routing must be invisible, so
+// every Result must match position for position.
+func TestShardedKVApplyMatchesUnsharded(t *testing.T) {
+	sharded := mustShardedKV(t, "hashmap", "hyaline", 4, hyaline.KVOptions{MaxThreads: 8})
+	plain := mustKV(t, "hashmap", "hyaline", hyaline.KVOptions{MaxThreads: 8})
+	rng := rand.New(rand.NewSource(42))
+	var ops []hyaline.Op
+	for round := 0; round < 50; round++ {
+		ops = ops[:0]
+		for i := 0; i < rng.Intn(200); i++ {
+			op := hyaline.Op{Kind: hyaline.OpKind(rng.Intn(3)), Key: uint64(rng.Intn(256))}
+			if op.Kind == hyaline.OpInsert {
+				op.Val = rng.Uint64()
+			}
+			ops = append(ops, op)
+		}
+		got := sharded.Apply(ops)
+		want := plain.Apply(ops)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d results vs %d", round, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d op %d (%s key %d): sharded %+v, unsharded %+v",
+					round, i, ops[i].Kind, ops[i].Key, got[i], want[i])
+			}
+		}
+	}
+	if sharded.Len() != plain.Len() {
+		t.Fatalf("Len diverged: sharded %d, unsharded %d", sharded.Len(), plain.Len())
+	}
+}
+
+// FuzzShardedKVApply is FuzzKVApply over a 4-shard KV: the same op
+// stream against a single map model, so any routing artifact — lost
+// ops, cross-shard reordering of a key's history, scatter misplacement
+// — shows up as a Result or Len mismatch.
+func FuzzShardedKVApply(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 7, 9, 0, 7, 0})
+	f.Add([]byte{1, 5, 1, 1, 5, 2, 2, 5, 0, 2, 5, 0})
+	f.Add([]byte{2, 9, 0, 0, 9, 0})
+	f.Add([]byte{3, 0, 0, 3, 0, 0, 1, 1, 1})
+	f.Add([]byte{
+		1, 1, 10, 1, 2, 20, 3, 0, 0, 0, 1, 0,
+		2, 1, 0, 1, 1, 30, 0, 1, 0, 3, 0, 0, 0, 2, 0,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kv, err := hyaline.NewShardedKV("hashmap", "hyaline", 4, hyaline.KVOptions{
+			MaxThreads: 8,
+			ArenaCap:   1 << 14,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := map[uint64]uint64{}
+		var ops []hyaline.Op
+		var expect []hyaline.Result
+
+		apply := func() {
+			res := kv.Apply(ops)
+			if len(ops) == 0 {
+				if res != nil {
+					t.Fatalf("Apply of empty batch returned %v", res)
+				}
+			} else if len(res) != len(ops) {
+				t.Fatalf("Apply returned %d results for %d ops", len(res), len(ops))
+			}
+			for i := range res {
+				if res[i] != expect[i] {
+					t.Fatalf("op %d (%s key %d): got %+v, want %+v",
+						i, ops[i].Kind, ops[i].Key, res[i], expect[i])
+				}
+			}
+			if got := kv.Len(); got != len(model) {
+				t.Fatalf("Len = %d, model has %d", got, len(model))
+			}
+			ops, expect = ops[:0], expect[:0]
+		}
+
+		for len(data) >= 3 {
+			sel, kb, vb := data[0]%4, data[1], data[2]
+			data = data[3:]
+			key, val := uint64(kb%64), uint64(vb)+1
+			switch sel {
+			case 0:
+				v, ok := model[key]
+				ops = append(ops, hyaline.Op{Kind: hyaline.OpGet, Key: key})
+				expect = append(expect, hyaline.Result{Val: v, OK: ok})
+			case 1:
+				_, exists := model[key]
+				ops = append(ops, hyaline.Op{Kind: hyaline.OpInsert, Key: key, Val: val})
+				expect = append(expect, hyaline.Result{OK: !exists})
+				if !exists {
+					model[key] = val
+				}
+			case 2:
+				_, exists := model[key]
+				ops = append(ops, hyaline.Op{Kind: hyaline.OpDelete, Key: key})
+				expect = append(expect, hyaline.Result{OK: exists})
+				delete(model, key)
+			default:
+				apply()
+			}
+		}
+		apply()
+
+		keys := make([]uint64, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		for i, r := range kv.GetBatch(nil, keys) {
+			if !r.OK || r.Val != model[keys[i]] {
+				t.Fatalf("final GetBatch(%d) = %+v, model %d", keys[i], r, model[keys[i]])
+			}
+		}
+	})
+}
+
+// TestShardedKVRangeMatchesUnsharded is the merged-scan property test:
+// at quiescence, a sharded Range over any window must reproduce the
+// unsharded scan exactly — same keys, same values, same order, no
+// duplicates — including early stops and the hi = 2^64-1 edge.
+func TestShardedKVRangeMatchesUnsharded(t *testing.T) {
+	sharded := mustShardedKV(t, "list", "hyaline", 4, hyaline.KVOptions{MaxThreads: 8})
+	plain := mustKV(t, "list", "hyaline", hyaline.KVOptions{MaxThreads: 8})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		key := uint64(rng.Intn(1500))
+		if rng.Intn(3) == 0 {
+			sharded.Delete(key)
+			plain.Delete(key)
+		} else {
+			sharded.Insert(key, kvChecksum(key))
+			plain.Insert(key, kvChecksum(key))
+		}
+	}
+	// Keys pinned at the keyspace edges so the full-range and overflow
+	// windows are non-trivial.
+	for _, key := range []uint64{0, ^uint64(0), ^uint64(0) - 1} {
+		sharded.Insert(key, kvChecksum(key))
+		plain.Insert(key, kvChecksum(key))
+	}
+
+	collect := func(kv interface {
+		Range(lo, hi uint64, fn func(k, v uint64) bool) error
+	}, lo, hi uint64, limit int) []kvEntry {
+		var out []kvEntry
+		err := kv.Range(lo, hi, func(k, v uint64) bool {
+			out = append(out, kvEntry{k, v})
+			return limit <= 0 || len(out) < limit
+		})
+		if err != nil {
+			t.Fatalf("Range(%d, %d): %v", lo, hi, err)
+		}
+		return out
+	}
+
+	windows := []struct {
+		lo, hi uint64
+		limit  int
+	}{
+		{0, ^uint64(0), 0},              // full keyspace, overflow edge
+		{0, 1499, 0},                    // populated interior
+		{100, 700, 0},                   // interior window
+		{0, ^uint64(0), 17},             // early stop mid-merge
+		{1400, ^uint64(0), 0},           // sparse tail + pinned max keys
+		{900, 200, 0},                   // empty (lo > hi)
+		{3000, 1 << 40, 0},              // empty interior
+		{^uint64(0) - 1, ^uint64(0), 0}, // two-key window at the edge
+	}
+	for wi, w := range windows {
+		got := collect(sharded, w.lo, w.hi, w.limit)
+		want := collect(plain, w.lo, w.hi, w.limit)
+		if len(got) != len(want) {
+			t.Fatalf("window %d [%d,%d]: %d entries vs %d", wi, w.lo, w.hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("window %d entry %d: sharded %+v, unsharded %+v", wi, i, got[i], want[i])
+			}
+			if i > 0 && got[i].k <= got[i-1].k {
+				t.Fatalf("window %d: keys not strictly ascending at %d: %d then %d",
+					wi, i, got[i-1].k, got[i].k)
+			}
+		}
+	}
+}
+
+type kvEntry struct{ k, v uint64 }
+
+func TestShardedKVRangeUnordered(t *testing.T) {
+	kv := mustShardedKV(t, "hashmap", "hyaline", 4, hyaline.KVOptions{})
+	if err := kv.Range(0, 100, func(uint64, uint64) bool { return true }); err == nil {
+		t.Fatal("Range on hashmap shards succeeded, want error")
+	}
+}
+
+// TestShardedKVConcurrentApply churns striped batches from many
+// goroutines (run under -race in CI): per-stripe values must survive
+// exactly, and at quiescence every lease is back and the merged scan
+// agrees with the aggregate Len.
+func TestShardedKVConcurrentApply(t *testing.T) {
+	const (
+		shards     = 4
+		goroutines = 8
+		rounds     = 60
+		stripeKeys = 48
+	)
+	kv := mustShardedKV(t, "list", "hyaline", shards, hyaline.KVOptions{MaxThreads: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Stripe g owns keys ≡ g (mod goroutines): exclusive, so the
+			// expected final state is deterministic per stripe.
+			ops := make([]hyaline.Op, 0, 2*stripeKeys)
+			for r := 0; r < rounds; r++ {
+				ops = ops[:0]
+				for i := 0; i < stripeKeys; i++ {
+					key := uint64(i*goroutines + g)
+					ops = append(ops, hyaline.Op{Kind: hyaline.OpInsert, Key: key, Val: kvChecksum(key)})
+				}
+				for i := 0; i < stripeKeys; i++ {
+					key := uint64(i*goroutines + g)
+					if (i+r)%3 == 0 {
+						ops = append(ops, hyaline.Op{Kind: hyaline.OpDelete, Key: key})
+					} else {
+						ops = append(ops, hyaline.Op{Kind: hyaline.OpGet, Key: key})
+					}
+				}
+				res := kv.ApplyInto(nil, ops)
+				for i, op := range ops {
+					if op.Kind == hyaline.OpGet && res[i].OK && res[i].Val != kvChecksum(op.Key) {
+						t.Errorf("goroutine %d: Get(%d) = %d, want %d", g, op.Key, res[i].Val, kvChecksum(op.Key))
+						return
+					}
+				}
+			}
+			// Settle the stripe: every key present with its checksum.
+			ops = ops[:0]
+			for i := 0; i < stripeKeys; i++ {
+				key := uint64(i*goroutines + g)
+				ops = append(ops, hyaline.Op{Kind: hyaline.OpInsert, Key: key, Val: kvChecksum(key)})
+			}
+			kv.Apply(ops)
+		}(g)
+	}
+	wg.Wait()
+
+	if got := kv.InFlight(); got != 0 {
+		t.Fatalf("InFlight at quiescence = %d", got)
+	}
+	want := goroutines * stripeKeys
+	if got := kv.Len(); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	seen := 0
+	err := kv.Range(0, ^uint64(0), func(k, v uint64) bool {
+		if v != kvChecksum(k) {
+			t.Errorf("Range saw %d -> %d, want %d", k, v, kvChecksum(k))
+			return false
+		}
+		seen++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != want {
+		t.Fatalf("merged Range visited %d keys, want %d", seen, want)
+	}
+	st := kv.Stats()
+	if st.Freed > st.Retired || st.Retired > st.Allocated {
+		t.Fatalf("aggregate counters inconsistent: %+v", st)
+	}
+}

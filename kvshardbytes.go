@@ -1,0 +1,345 @@
+package hyaline
+
+import (
+	"fmt"
+	"sync"
+
+	"hyaline/internal/arena"
+)
+
+// ShardedKVBytes is the []byte-payload sibling of ShardedKV: N fully
+// independent KVBytes shards (own structure, tracker, arena with blob
+// slabs, session pool), hash-routed on the key bytes. The surface and
+// semantics mirror KVBytes; routing is invisible to callers, and the
+// batched apply splits/executes/scatters exactly like
+// ShardedKV.ApplyInto, with value bytes copied into the caller's
+// buffer so results never alias a shard's internal scratch.
+type ShardedKVBytes struct {
+	shards  []*KVBytes
+	scratch sync.Pool // *shardBytesRuns, sized to len(shards)
+}
+
+// NewShardedKVBytes builds a hash-sharded concurrent bytes map. opts
+// carries total bounds, divided across the shards like NewShardedKV
+// (BlobClassBudget, default 1<<24, is divided too).
+func NewShardedKVBytes(structure, scheme string, shards int, opts KVOptions) (*ShardedKVBytes, error) {
+	per, err := shardOptions(shards, opts)
+	if err != nil {
+		return nil, err
+	}
+	sk := &ShardedKVBytes{shards: make([]*KVBytes, shards)}
+	for i := range sk.shards {
+		kv, err := NewKVBytes(structure, scheme, per)
+		if err != nil {
+			return nil, err
+		}
+		sk.shards[i] = kv
+	}
+	sk.scratch.New = func() any {
+		return &shardBytesRuns{runs: make([]shardBytesRun, shards), active: make([]int, 0, shards)}
+	}
+	return sk, nil
+}
+
+// shardIndexBytes routes a byte-string key to its shard (FNV-1a 64,
+// inlined to stay allocation-free).
+func shardIndexBytes(key []byte, n int) int {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+func (sk *ShardedKVBytes) shard(key []byte) *KVBytes {
+	return sk.shards[shardIndexBytes(key, len(sk.shards))]
+}
+
+// Insert adds key→val on the owning shard, failing if the key exists.
+// Both slices are copied in.
+func (sk *ShardedKVBytes) Insert(key, val []byte) bool { return sk.shard(key).Insert(key, val) }
+
+// Delete removes key from the owning shard, failing if it is absent.
+func (sk *ShardedKVBytes) Delete(key []byte) bool { return sk.shard(key).Delete(key) }
+
+// Get returns a copy of the value under key.
+func (sk *ShardedKVBytes) Get(key []byte) ([]byte, bool) { return sk.shard(key).Get(key) }
+
+// GetAppend appends the value under key to dst and returns it, leaving
+// dst unchanged on a miss.
+func (sk *ShardedKVBytes) GetAppend(dst []byte, key []byte) ([]byte, bool) {
+	return sk.shard(key).GetAppend(dst, key)
+}
+
+// shardBytesRun is one shard's slice of a routed bytes batch, with a
+// shard-local value buffer so concurrent sub-batches never share one.
+type shardBytesRun struct {
+	ops  []BytesOp
+	idx  []int
+	res  []BytesResult
+	vbuf []byte
+}
+
+type shardBytesRuns struct {
+	runs   []shardBytesRun
+	active []int
+}
+
+func (sk *ShardedKVBytes) takeRuns() *shardBytesRuns {
+	return sk.scratch.Get().(*shardBytesRuns)
+}
+
+func (sk *ShardedKVBytes) putRuns(sr *shardBytesRuns) {
+	for _, s := range sr.active {
+		r := &sr.runs[s]
+		// Drop the op slices so pooled scratch never retains caller
+		// key/value buffers (they may alias a network read buffer).
+		clear(r.ops)
+		r.ops = r.ops[:0]
+		r.idx = r.idx[:0]
+		clear(r.res)
+		r.res = r.res[:0]
+		r.vbuf = r.vbuf[:0]
+	}
+	sr.active = sr.active[:0]
+	sk.scratch.Put(sr)
+}
+
+// ApplyBytes runs ops in batch order, returning one BytesResult per
+// op; see ApplyBytesInto for the routing mechanics.
+func (sk *ShardedKVBytes) ApplyBytes(ops []BytesOp) []BytesResult {
+	if len(ops) == 0 {
+		return nil
+	}
+	res, _ := sk.ApplyBytesInto(make([]BytesResult, 0, len(ops)), nil, ops)
+	return res
+}
+
+// ApplyBytesInto splits ops into per-shard sub-batches, executes them
+// concurrently (one lease + one chunked bracket per shard), and
+// scatters results back in caller order: dst[i] answers ops[i]. Get
+// hit values are copied into buf — staged as offsets and materialized
+// after the scatter, the same discipline as KVBytes.ApplyBytesInto,
+// since buf may reallocate mid-scatter — so every returned Val aliases
+// the returned buf and nothing aliases shard scratch.
+func (sk *ShardedKVBytes) ApplyBytesInto(dst []BytesResult, buf []byte, ops []BytesOp) ([]BytesResult, []byte) {
+	if len(ops) == 0 {
+		return dst, buf
+	}
+	if len(sk.shards) == 1 {
+		return sk.shards[0].ApplyBytesInto(dst, buf, ops)
+	}
+	sr := sk.takeRuns()
+	for i := range ops {
+		op := &ops[i]
+		if op.Kind > OpDelete {
+			sk.putRuns(sr)
+			panic(fmt.Sprintf("hyaline: ApplyBytes op %d has unknown kind %d", i, op.Kind))
+		}
+		s := shardIndexBytes(op.Key, len(sk.shards))
+		r := &sr.runs[s]
+		if len(r.ops) == 0 {
+			sr.active = append(sr.active, s)
+		}
+		r.ops = append(r.ops, *op)
+		r.idx = append(r.idx, i)
+	}
+	sk.execRuns(sr)
+	base := len(dst)
+	dst = growBytesResults(dst, len(ops))
+	for _, s := range sr.active {
+		r := &sr.runs[s]
+		for j, pos := range r.idx {
+			res := r.res[j]
+			out := BytesResult{OK: res.OK}
+			if r.ops[j].Kind == OpGet && res.OK {
+				start := len(buf)
+				buf = append(buf, res.Val...)
+				out.vo, out.ve = start, len(buf)+1
+			}
+			dst[base+pos] = out
+		}
+	}
+	for i := base; i < len(dst); i++ {
+		if end := dst[i].ve; end > 0 {
+			dst[i].Val = buf[dst[i].vo : end-1 : end-1]
+			dst[i].vo, dst[i].ve = 0, 0
+		}
+	}
+	sk.putRuns(sr)
+	return dst, buf
+}
+
+func (sk *ShardedKVBytes) execRuns(sr *shardBytesRuns) {
+	last := len(sr.active) - 1
+	var wg sync.WaitGroup
+	for _, s := range sr.active[:last] {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r := &sr.runs[s]
+			r.res, r.vbuf = sk.shards[s].ApplyBytesInto(r.res[:0], r.vbuf[:0], r.ops)
+		}(s)
+	}
+	s := sr.active[last]
+	r := &sr.runs[s]
+	r.res, r.vbuf = sk.shards[s].ApplyBytesInto(r.res[:0], r.vbuf[:0], r.ops)
+	wg.Wait()
+}
+
+func growBytesResults(dst []BytesResult, n int) []BytesResult {
+	base := len(dst)
+	if cap(dst) < base+n {
+		nd := make([]BytesResult, base+n)
+		copy(nd, dst)
+		return nd
+	}
+	return dst[:base+n]
+}
+
+// InsertBatch inserts keys[i]→vals[i] across the shards, reporting
+// per-key success. Panics if the slices differ in length.
+func (sk *ShardedKVBytes) InsertBatch(keys, vals [][]byte) []bool {
+	if len(keys) != len(vals) {
+		panic(fmt.Sprintf("hyaline: InsertBatch with %d keys but %d vals", len(keys), len(vals)))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	ops := make([]BytesOp, len(keys))
+	for i := range keys {
+		ops[i] = BytesOp{Kind: OpInsert, Key: keys[i], Val: vals[i]}
+	}
+	res := sk.ApplyBytes(ops)
+	ok := make([]bool, len(res))
+	for i := range res {
+		ok[i] = res[i].OK
+	}
+	return ok
+}
+
+// DeleteBatch deletes every key, reporting per-key success.
+func (sk *ShardedKVBytes) DeleteBatch(keys [][]byte) []bool {
+	if len(keys) == 0 {
+		return nil
+	}
+	ops := make([]BytesOp, len(keys))
+	for i := range keys {
+		ops[i] = BytesOp{Kind: OpDelete, Key: keys[i]}
+	}
+	res := sk.ApplyBytes(ops)
+	ok := make([]bool, len(res))
+	for i := range res {
+		ok[i] = res[i].OK
+	}
+	return ok
+}
+
+// GetBatch looks every key up, appending one BytesResult per key to
+// dst and value bytes to buf; hit values alias the returned buf.
+func (sk *ShardedKVBytes) GetBatch(dst []BytesResult, buf []byte, keys [][]byte) ([]BytesResult, []byte) {
+	if len(keys) == 0 {
+		return dst, buf
+	}
+	ops := make([]BytesOp, len(keys))
+	for i, k := range keys {
+		ops[i] = BytesOp{Kind: OpGet, Key: k}
+	}
+	return sk.ApplyBytesInto(dst, buf, ops)
+}
+
+// Len counts entries across all shards. Exact at quiescence.
+func (sk *ShardedKVBytes) Len() int {
+	total := 0
+	for _, s := range sk.shards {
+		total += s.Len()
+	}
+	return total
+}
+
+// Stats sums the reclamation counters across all shards.
+func (sk *ShardedKVBytes) Stats() Stats {
+	var t Stats
+	for _, s := range sk.shards {
+		st := s.Stats()
+		t.Allocated += st.Allocated
+		t.Retired += st.Retired
+		t.Freed += st.Freed
+	}
+	return t
+}
+
+// Live sums the arena nodes currently allocated across all shards.
+func (sk *ShardedKVBytes) Live() int64 {
+	var total int64
+	for _, s := range sk.shards {
+		total += s.Live()
+	}
+	return total
+}
+
+// BlobStats sums the blob slab counters across all shards.
+func (sk *ShardedKVBytes) BlobStats() arena.BlobStats {
+	var t arena.BlobStats
+	for _, s := range sk.shards {
+		bs := s.BlobStats()
+		t.Allocated += bs.Allocated
+		t.Freed += bs.Freed
+	}
+	return t
+}
+
+// Flush asks every shard's tracker to reclaim whatever is safely
+// reclaimable.
+func (sk *ShardedKVBytes) Flush() {
+	for _, s := range sk.shards {
+		s.Flush()
+	}
+}
+
+// InFlight sums the leases currently held across all shards.
+func (sk *ShardedKVBytes) InFlight() int {
+	total := 0
+	for _, s := range sk.shards {
+		total += s.InFlight()
+	}
+	return total
+}
+
+// MaxThreads returns the total in-flight bound across shards.
+func (sk *ShardedKVBytes) MaxThreads() int {
+	total := 0
+	for _, s := range sk.shards {
+		total += s.MaxThreads()
+	}
+	return total
+}
+
+// Scheme returns the reclamation scheme name.
+func (sk *ShardedKVBytes) Scheme() string { return sk.shards[0].Scheme() }
+
+// Structure returns the data structure name.
+func (sk *ShardedKVBytes) Structure() string { return sk.shards[0].Structure() }
+
+// Shards returns the number of partitions.
+func (sk *ShardedKVBytes) Shards() int { return len(sk.shards) }
+
+// Snapshot aggregates the per-shard summaries.
+func (sk *ShardedKVBytes) Snapshot() Snapshot {
+	snap := Snapshot{
+		Structure:  sk.Structure(),
+		Scheme:     sk.Scheme(),
+		MaxThreads: sk.MaxThreads(),
+		Shards:     len(sk.shards),
+	}
+	for _, s := range sk.shards {
+		snap.Len += s.Len()
+		snap.Live += s.Live()
+		st := s.Stats()
+		snap.Stats.Allocated += st.Allocated
+		snap.Stats.Retired += st.Retired
+		snap.Stats.Freed += st.Freed
+	}
+	return snap
+}
