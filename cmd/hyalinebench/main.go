@@ -67,6 +67,8 @@ func run(args []string) error {
 		conns     = fs.Int("conns", 0, "single run: client/server mode — drive an in-process TCP server with this many closed-loop connections")
 		pipe      = fs.Int("pipeline", 0, "single run: requests kept in flight per connection (needs -conns; 0 = 1, singleton round trips)")
 		coalesce  = fs.Bool("coalesce", false, "single run: merge apply batches across connections (needs -conns)")
+		poll      = fs.Bool("poll", false, "single run: park idle connections in the readiness poller (needs -conns and a poller backend)")
+		ooo       = fs.Bool("ooo", false, "single run: complete replies out of order on seq-framed connections; implies -coalesce (needs -conns)")
 		valsize   = fs.Int("valuesize", 0, "single run: bytes payload size — switches to []byte keys/values (bytes structures only, e.g. blist)")
 		shards    = fs.Int("shards", 0, "single run: hash-shard across N independent structure+tracker partitions (0/1 = unsharded; may exceed -threads — idle shards just see less traffic)")
 		snapshot  = fs.String("snapshot", "", "emit a JSON benchmark snapshot to stdout: kv (uint64 baseline) or bytes (payload twin)")
@@ -107,6 +109,10 @@ func run(args []string) error {
 		return fmt.Errorf("-pipeline %d without -conns: pipelining is a property of client connections (add -conns)", *pipe)
 	case *coalesce && *conns == 0:
 		return fmt.Errorf("-coalesce without -conns: coalescing merges apply batches across client connections (add -conns)")
+	case *poll && *conns == 0:
+		return fmt.Errorf("-poll without -conns: the readiness poller parks client connections (add -conns)")
+	case *ooo && *conns == 0:
+		return fmt.Errorf("-ooo without -conns: out-of-order completion is a serving-layer mode (add -conns)")
 	case *baseline != "" && *snapshot == "":
 		return fmt.Errorf("-baseline %q without -snapshot: the regression gate compares snapshot runs", *baseline)
 	case *conns > 0 && (*sessions || *gor > 0):
@@ -149,7 +155,7 @@ func run(args []string) error {
 			rangePct: *rangePct, rangeSpan: *rangeSpan,
 			trim: *trim, sessions: *sessions, goroutines: *gor,
 			batch: *batch, conns: *conns, pipeline: *pipe,
-			coalesce:  *coalesce,
+			coalesce: *coalesce, poll: *poll, ooo: *ooo,
 			valueSize: *valsize,
 			shards:    *shards,
 			slots:     *slots, prefill: *prefill,
@@ -255,6 +261,7 @@ type singleConfig struct {
 	rangeSpan, keyrange         uint64
 	duration                    time.Duration
 	trim, sessions, coalesce    bool
+	poll, ooo                   bool
 }
 
 func runSingle(c singleConfig) error {
@@ -293,7 +300,9 @@ func runSingle(c singleConfig) error {
 		BatchSize:  c.batch,
 		Conns:      c.conns,
 		Pipeline:   c.pipeline,
-		Coalesce:   c.coalesce,
+		Coalesce:   c.coalesce || c.ooo,
+		Poll:       c.poll,
+		OOO:        c.ooo,
 		ValueSize:  c.valueSize,
 		Shards:     c.shards,
 		Prefill:    c.prefill,

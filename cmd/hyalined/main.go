@@ -30,6 +30,13 @@
 // the shards (rounded up, so -shards above -threads still grants every
 // shard one lease).
 //
+// With -poll idle connections park their descriptors in an OS
+// readiness poller (epoll/kqueue) and are serviced by a bounded worker
+// pool, so tens of thousands of mostly-idle connections cost O(workers)
+// goroutines. With -ooo (implies -coalesce) seq-framed replies complete
+// out of order as each shard batch lands. -maxconns caps concurrent
+// connections; accepts beyond the cap are refused immediately.
+//
 // The bound address is printed on startup (useful with port 0); drive it
 // with cmd/hyalineload. On SIGINT the server stops accepting, finishes
 // every in-flight pipeline window, writes the pending replies and exits,
@@ -75,6 +82,10 @@ func run(args []string) error {
 		coWindow  = fs.Duration("coalescewindow", server.DefaultCoalesceWindow, "latency budget a non-full coalesced batch waits for more runs (-coalesce only)")
 		writeTO   = fs.Duration("writetimeout", server.DefaultWriteTimeout, "per-Write reply deadline; a peer that stops reading is disconnected (negative disables)")
 		shards    = fs.Int("shards", 1, "hash-shard the KV across N independent structure+tracker partitions (0 or 1 = unsharded)")
+		poll      = fs.Bool("poll", false, "park idle connections in an OS readiness poller (epoll/kqueue); O(workers) goroutines instead of one per connection")
+		pollWork  = fs.Int("pollworkers", 0, "poll-mode service pool size (0 = 2x GOMAXPROCS; -poll only)")
+		ooo       = fs.Bool("ooo", false, "complete seq-framed replies out of order as each coalesced shard batch lands (implies -coalesce)")
+		maxConns  = fs.Int("maxconns", 0, "cap on concurrently open connections; accepts beyond it are refused (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +98,12 @@ func run(args []string) error {
 	}
 	if *shards < 0 {
 		return fmt.Errorf("-shards %d: the shard count cannot be negative (0 or 1 = unsharded)", *shards)
+	}
+	if *maxConns < 0 {
+		return fmt.Errorf("-maxconns %d: the connection cap cannot be negative (0 = unlimited)", *maxConns)
+	}
+	if *pollWork < 0 {
+		return fmt.Errorf("-pollworkers %d: the poll worker count cannot be negative (0 = auto)", *pollWork)
 	}
 	nshards := *shards
 	if nshards == 0 {
@@ -110,10 +127,17 @@ func run(args []string) error {
 	logger := log.New(os.Stderr, "hyalined: ", 0)
 	opts := server.Options{
 		MaxPipeline:    *pipeline,
-		Coalesce:       *coalesce,
+		Coalesce:       *coalesce || *ooo,
 		CoalesceWindow: *coWindow,
 		WriteTimeout:   *writeTO,
+		Poll:           *poll,
+		PollWorkers:    *pollWork,
+		OOO:            *ooo,
+		MaxConns:       *maxConns,
 		Logf:           logger.Printf,
+	}
+	if *poll && !server.PollSupported() {
+		logger.Printf("warning: -poll has no backend on this platform; serving goroutine-per-connection")
 	}
 	switch {
 	case *bytesMode:
@@ -163,8 +187,8 @@ func run(args []string) error {
 		return err
 	}
 
-	logger.Printf("listening on %s (structure=%s scheme=%s threads=%d shards=%d pipeline=%d bytes=%v coalesce=%v)",
-		ln.Addr(), fr.Structure(), fr.Scheme(), fr.MaxThreads(), fr.Snapshot().Shards, *pipeline, *bytesMode, *coalesce)
+	logger.Printf("listening on %s (structure=%s scheme=%s threads=%d shards=%d pipeline=%d bytes=%v coalesce=%v poll=%v ooo=%v maxconns=%d)",
+		ln.Addr(), fr.Structure(), fr.Scheme(), fr.MaxThreads(), fr.Snapshot().Shards, *pipeline, *bytesMode, opts.Coalesce, *poll, *ooo, *maxConns)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -18,6 +18,8 @@ func TestFlagValidation(t *testing.T) {
 		{"negative pipeline", []string{"-pipeline=-4"}, "-pipeline"},
 		{"negative shards", []string{"-shards=-1"}, "-shards"},
 		{"negative shards with threads", []string{"-shards=-8", "-threads=4"}, "-shards"},
+		{"negative maxconns", []string{"-maxconns=-1"}, "-maxconns"},
+		{"negative pollworkers", []string{"-poll", "-pollworkers=-2"}, "-pollworkers"},
 		{"unknown structure", []string{"-structure=no-such", "-addr=127.0.0.1:0"}, "no-such"},
 		{"unknown scheme sharded", []string{"-shards=4", "-scheme=no-such", "-addr=127.0.0.1:0"}, "no-such"},
 	}

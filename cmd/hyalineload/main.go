@@ -28,9 +28,13 @@
 // and tags each data request with a u32 seq the server echoes on the
 // reply. The generator then records one latency sample per request
 // (flush to that request's own reply) instead of one per pipeline
-// window, and verifies the echoed seqs arrive in request order — the
-// client-side check that cross-connection coalescing (hyalined
-// -coalesce) never reorders replies within a connection.
+// window, and matches each echo against the window's outstanding seqs
+// — replies may arrive in any order (the protocol explicitly permits
+// out-of-order completion under FlagSeq, which hyalined -ooo
+// exercises), but an unknown seq, a duplicate echo, or a window that
+// completes with replies missing is an error. Integrity checks follow
+// the matched request, so a reordered GETB hit is still verified
+// against its own key.
 package main
 
 import (
@@ -282,21 +286,68 @@ func negotiateSeq(w *protocol.Writer, rd *protocol.Reader) error {
 	return nil
 }
 
-// checkSeqReply peels and verifies the echoed seq of one reply frame,
-// returning the payload that follows it. ERR replies are reported
-// as-is: the server never seq-prefixes them.
-func checkSeqReply(f protocol.Frame, want uint32) ([]byte, error) {
+// seqWindow tracks the outstanding sequence ids of one pipeline window
+// — the contiguous range base..base+n-1 — and matches reply echoes
+// against them in whatever order they arrive. FlagSeq licenses
+// out-of-order completion, so in-order arrival must not be assumed;
+// what stays an error is a seq outside the window (unknown), a second
+// echo of one already matched (duplicate), or a window that runs out
+// of replies with seqs still pending (incomplete — checked by done).
+type seqWindow struct {
+	base uint32
+	seen []bool
+	left int
+}
+
+// reset arms the window for n requests starting at base.
+func (sw *seqWindow) reset(base uint32, n int) {
+	sw.base = base
+	if cap(sw.seen) < n {
+		sw.seen = make([]bool, n)
+	} else {
+		sw.seen = sw.seen[:n]
+		for i := range sw.seen {
+			sw.seen[i] = false
+		}
+	}
+	sw.left = n
+}
+
+// match verifies one echoed seq and returns the index of the request it
+// answers (offset within the window, valid into the caller's per-window
+// bookkeeping). Unsigned subtraction handles the u32 seq counter
+// wrapping mid-window.
+func (sw *seqWindow) match(got uint32) (int, error) {
+	idx := got - sw.base
+	if idx >= uint32(len(sw.seen)) {
+		return 0, fmt.Errorf("reply seq %d outside the outstanding window [%d..%d]",
+			got, sw.base, sw.base+uint32(len(sw.seen))-1)
+	}
+	if sw.seen[idx] {
+		return 0, fmt.Errorf("duplicate reply for seq %d", got)
+	}
+	sw.seen[idx] = true
+	sw.left--
+	return int(idx), nil
+}
+
+// done checks the window completed: every outstanding seq was echoed
+// exactly once.
+func (sw *seqWindow) done() error {
+	if sw.left != 0 {
+		return fmt.Errorf("window incomplete: %d of %d replies missing", sw.left, len(sw.seen))
+	}
+	return nil
+}
+
+// peelSeqReply splits one reply frame into its echoed seq and trailing
+// payload. ERR replies are reported as-is: the server never
+// seq-prefixes them.
+func peelSeqReply(f protocol.Frame) (uint32, []byte, error) {
 	if protocol.Status(f.Code) == protocol.StatusErr {
-		return nil, fmt.Errorf("server error reply: %s", f.Payload)
+		return 0, nil, fmt.Errorf("server error reply: %s", f.Payload)
 	}
-	got, rest, err := protocol.Seq(f.Payload)
-	if err != nil {
-		return nil, err
-	}
-	if got != want {
-		return nil, fmt.Errorf("reply seq %d, want %d (replies reordered within a connection)", got, want)
-	}
-	return rest, nil
+	return protocol.Seq(f.Payload)
 }
 
 // drive is one closed-loop connection: write a window, read its replies,
@@ -325,6 +376,7 @@ func drive(addr string, seed, pipeline int, m mix, keyrange uint64, useSeq bool,
 	}
 	keys := make([]uint64, pipeline)
 	kinds := make([]protocol.Op, pipeline)
+	var sw seqWindow
 	started.Done()
 	<-release
 
@@ -361,6 +413,9 @@ func drive(addr string, seed, pipeline int, m mix, keyrange uint64, useSeq bool,
 			}
 			seq++
 		}
+		if useSeq {
+			sw.reset(base, pipeline)
+		}
 		t0 := time.Now()
 		if err := w.Flush(); err != nil {
 			return ops, err
@@ -371,21 +426,27 @@ func drive(addr string, seed, pipeline int, m mix, keyrange uint64, useSeq bool,
 				return ops, err
 			}
 			payload := f.Payload
+			idx := p
 			if useSeq {
-				if payload, err = checkSeqReply(f, base+uint32(p)); err != nil {
+				got, rest, err := peelSeqReply(f)
+				if err != nil {
 					return ops, err
 				}
+				if idx, err = sw.match(got); err != nil {
+					return ops, err
+				}
+				payload = rest
 				h.Record(time.Since(t0))
 			}
 			switch protocol.Status(f.Code) {
 			case protocol.StatusOK:
-				if kinds[p] == protocol.OpGet {
+				if kinds[idx] == protocol.OpGet {
 					v, err := protocol.U64(payload)
 					if err != nil {
 						return ops, err
 					}
-					if want := keys[p]*31 + 7; v != want {
-						return ops, fmt.Errorf("corrupted read: GET %d returned %d, want %d (reclamation bug?)", keys[p], v, want)
+					if want := keys[idx]*31 + 7; v != want {
+						return ops, fmt.Errorf("corrupted read: GET %d returned %d, want %d (reclamation bug?)", keys[idx], v, want)
 					}
 				}
 			case protocol.StatusNil:
@@ -394,7 +455,11 @@ func drive(addr string, seed, pipeline int, m mix, keyrange uint64, useSeq bool,
 				return ops, fmt.Errorf("server error reply: %s", f.Payload)
 			}
 		}
-		if !useSeq {
+		if useSeq {
+			if err := sw.done(); err != nil {
+				return ops, err
+			}
+		} else {
 			h.Record(time.Since(t0))
 		}
 		ops += int64(pipeline)
@@ -432,6 +497,7 @@ func driveBytes(addr string, seed, pipeline int, m mix, keyrange uint64, vs vsDi
 	kinds := make([]protocol.Op, pipeline)
 	keyBuf := make([]byte, 8)
 	valBuf := make([]byte, vs.cap())
+	var sw seqWindow
 	started.Done()
 	<-release
 
@@ -471,6 +537,9 @@ func driveBytes(addr string, seed, pipeline int, m mix, keyrange uint64, vs vsDi
 			}
 			seq++
 		}
+		if useSeq {
+			sw.reset(base, pipeline)
+		}
 		t0 := time.Now()
 		if err := w.Flush(); err != nil {
 			return ops, err
@@ -481,16 +550,22 @@ func driveBytes(addr string, seed, pipeline int, m mix, keyrange uint64, vs vsDi
 				return ops, err
 			}
 			payload := f.Payload
+			idx := p
 			if useSeq {
-				if payload, err = checkSeqReply(f, base+uint32(p)); err != nil {
+				got, rest, err := peelSeqReply(f)
+				if err != nil {
 					return ops, err
 				}
+				if idx, err = sw.match(got); err != nil {
+					return ops, err
+				}
+				payload = rest
 				h.Record(time.Since(t0))
 			}
 			switch protocol.Status(f.Code) {
 			case protocol.StatusOK:
-				if kinds[p] == protocol.OpGetB {
-					if err := checkValue(payload, keys[p]); err != nil {
+				if kinds[idx] == protocol.OpGetB {
+					if err := checkValue(payload, keys[idx]); err != nil {
 						return ops, err
 					}
 				}
@@ -500,7 +575,11 @@ func driveBytes(addr string, seed, pipeline int, m mix, keyrange uint64, vs vsDi
 				return ops, fmt.Errorf("server error reply: %s", f.Payload)
 			}
 		}
-		if !useSeq {
+		if useSeq {
+			if err := sw.done(); err != nil {
+				return ops, err
+			}
+		} else {
 			h.Record(time.Since(t0))
 		}
 		ops += int64(pipeline)

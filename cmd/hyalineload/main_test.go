@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 // TestParseMix: named mixes, strict custom percentages, and rejection
 // of garbage (including trailing junk a lenient scanner would accept).
@@ -25,5 +28,105 @@ func TestParseMix(t *testing.T) {
 		if _, err := parseMix(in); err == nil {
 			t.Errorf("parseMix(%q) accepted garbage", in)
 		}
+	}
+}
+
+// TestSeqWindowInOrder: FIFO arrival (a conforming degenerate server)
+// matches cleanly and completes.
+func TestSeqWindowInOrder(t *testing.T) {
+	var sw seqWindow
+	sw.reset(100, 4)
+	for i := 0; i < 4; i++ {
+		idx, err := sw.match(100 + uint32(i))
+		if err != nil {
+			t.Fatalf("match(%d): %v", 100+i, err)
+		}
+		if idx != i {
+			t.Fatalf("match(%d) index %d, want %d", 100+i, idx, i)
+		}
+	}
+	if err := sw.done(); err != nil {
+		t.Fatalf("done after full window: %v", err)
+	}
+}
+
+// TestSeqWindowReordered: arbitrary arrival order is legal under
+// FlagSeq; each echo must still map to its own request index.
+func TestSeqWindowReordered(t *testing.T) {
+	var sw seqWindow
+	sw.reset(7, 5)
+	for _, got := range []uint32{9, 7, 11, 8, 10} {
+		idx, err := sw.match(got)
+		if err != nil {
+			t.Fatalf("match(%d): %v", got, err)
+		}
+		if want := int(got - 7); idx != want {
+			t.Fatalf("match(%d) index %d, want %d", got, idx, want)
+		}
+	}
+	if err := sw.done(); err != nil {
+		t.Fatalf("done after reordered window: %v", err)
+	}
+}
+
+// TestSeqWindowUnknown: a seq outside the outstanding range is a
+// protocol violation, before and after the window partially fills.
+func TestSeqWindowUnknown(t *testing.T) {
+	var sw seqWindow
+	sw.reset(10, 3)
+	if _, err := sw.match(13); err == nil {
+		t.Fatal("seq one past the window accepted")
+	}
+	if _, err := sw.match(9); err == nil {
+		t.Fatal("seq one before the window accepted")
+	}
+	if _, err := sw.match(math.MaxUint32); err == nil {
+		t.Fatal("far-away seq accepted")
+	}
+}
+
+// TestSeqWindowDuplicate: the same seq echoed twice is an error even
+// though it is inside the window.
+func TestSeqWindowDuplicate(t *testing.T) {
+	var sw seqWindow
+	sw.reset(0, 2)
+	if _, err := sw.match(1); err != nil {
+		t.Fatalf("first match: %v", err)
+	}
+	if _, err := sw.match(1); err == nil {
+		t.Fatal("duplicate seq accepted")
+	}
+}
+
+// TestSeqWindowIncomplete: running out of replies with seqs pending is
+// detected by done.
+func TestSeqWindowIncomplete(t *testing.T) {
+	var sw seqWindow
+	sw.reset(50, 3)
+	if _, err := sw.match(51); err != nil {
+		t.Fatalf("match: %v", err)
+	}
+	if err := sw.done(); err == nil {
+		t.Fatal("incomplete window passed done")
+	}
+}
+
+// TestSeqWindowWrap: the u32 seq counter wrapping mid-window must not
+// confuse the range check (unsigned subtraction handles it).
+func TestSeqWindowWrap(t *testing.T) {
+	var sw seqWindow
+	base := uint32(math.MaxUint32 - 1) // window covers MaxUint32-1, MaxUint32, 0, 1
+	sw.reset(base, 4)
+	for _, got := range []uint32{0, math.MaxUint32 - 1, 1, math.MaxUint32} {
+		idx, err := sw.match(got)
+		if err != nil {
+			t.Fatalf("match(%d): %v", got, err)
+		}
+		if want := int(got - base); idx != want {
+			t.Fatalf("match(%d) index %d, want %d", got, idx, want)
+		}
+	}
+	if err := sw.done(); err != nil {
+		t.Fatalf("done after wrapped window: %v", err)
 	}
 }

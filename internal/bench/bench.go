@@ -121,6 +121,14 @@ type Config struct {
 	// CoalesceWindow is the coalescer's latency budget (0 = the server
 	// default). Ignored unless Coalesce is set.
 	CoalesceWindow time.Duration
+	// Poll parks idle connections in the server's readiness poller
+	// (server.Options.Poll) instead of pinning a goroutine per
+	// connection. Requires Conns > 0 and a poller backend (Linux/BSD).
+	Poll bool
+	// OOO completes replies out of order on seq-framed connections
+	// (server.Options.OOO); implies Coalesce. Requires Conns > 0. The
+	// bench clients negotiate FlagSeq and tag every request.
+	OOO bool
 	// Shards partitions the run across N independent structure+tracker
 	// instances (hash-routed keys, the in-process analogue of the
 	// ShardedKV layer): each worker routes every operation's key to its
@@ -219,6 +227,10 @@ type Result struct {
 	Conns    int
 	Pipeline int
 	Coalesce bool
+	// Poll and OOO echo the serving mode: readiness-poller parking and
+	// out-of-order reply completion.
+	Poll bool
+	OOO  bool
 	// ValueSize is the bytes-run value size (0 = uint64 payloads).
 	ValueSize int
 	// Shards is the partition count (1 = unsharded).
@@ -239,10 +251,19 @@ type Result struct {
 	// (client/server mode only; one sample per pipeline window).
 	P50, P99 time.Duration
 	// PeakGoroutines samples the process-wide goroutine high-water mark
-	// during a client/server run: conns × (client + reader + writer)
-	// plus the runtime, the scaling cost the conns sweep exists to show.
+	// during a client/server run — server handlers plus the in-process
+	// bench clients plus the runtime.
 	PeakGoroutines int
-	FinalStats     smr.Stats
+	// PeakSrvGoroutines samples Server.Goroutines(), the server-side-only
+	// high-water mark (handlers, poller loop and workers, coalescer
+	// workers). This is the figure-27 gauge: unlike PeakGoroutines it
+	// excludes the in-process clients, so per-conn vs poller curves are
+	// comparable.
+	PeakSrvGoroutines int64
+	// PeakFDs samples the process's open-descriptor high-water mark via
+	// /proc/self/fd (0 where /proc is unavailable).
+	PeakFDs    int
+	FinalStats smr.Stats
 }
 
 // String formats the result as one table row.
@@ -258,7 +279,16 @@ func (r Result) String() string {
 	}
 	if r.Conns > 0 {
 		mode := "perconn"
-		if r.Coalesce {
+		switch {
+		case r.OOO && r.Poll:
+			mode = "poll+ooo"
+		case r.OOO:
+			mode = "ooo"
+		case r.Poll && r.Coalesce:
+			mode = "poll+coalesced"
+		case r.Poll:
+			mode = "poll"
+		case r.Coalesce:
 			mode = "coalesced"
 		}
 		row += fmt.Sprintf("  serve(conns=%d pipe=%d %s", r.Conns, r.Pipeline, mode)
@@ -270,6 +300,12 @@ func (r Result) String() string {
 		}
 		if r.PeakGoroutines > 0 {
 			row += fmt.Sprintf(" gor=%d", r.PeakGoroutines)
+		}
+		if r.PeakSrvGoroutines > 0 {
+			row += fmt.Sprintf(" srvgor=%d", r.PeakSrvGoroutines)
+		}
+		if r.PeakFDs > 0 {
+			row += fmt.Sprintf(" fds=%d", r.PeakFDs)
 		}
 		row += ")"
 	}
@@ -323,6 +359,12 @@ func Run(cfg Config) (Result, error) {
 	}
 	if cfg.Coalesce {
 		return Result{}, fmt.Errorf("bench: coalescing is a serving-layer mode; it needs Conns > 0")
+	}
+	if cfg.Poll {
+		return Result{}, fmt.Errorf("bench: the readiness poller is a serving-layer mode; it needs Conns > 0")
+	}
+	if cfg.OOO {
+		return Result{}, fmt.Errorf("bench: out-of-order completion is a serving-layer mode; it needs Conns > 0")
 	}
 	if cfg.Shards > 1 {
 		switch {

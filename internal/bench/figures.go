@@ -45,6 +45,12 @@ type Curve struct {
 	// Coalesce runs this curve's server with cross-connection apply
 	// coalescing (sweep "conns" only).
 	Coalesce bool
+	// Poll parks this curve's idle connections in the readiness poller
+	// (sweep "conns" only; needs a poller backend).
+	Poll bool
+	// OOO completes this curve's replies out of order on seq-framed
+	// connections; implies Coalesce (sweep "conns" only).
+	OOO bool
 	// Structure overrides the figure's structure for this curve (empty =
 	// inherit). The payload-comparison figures use it to put the uint64
 	// structure and its bytes twin on the same axes.
@@ -334,6 +340,31 @@ func AllFigures() []Figure {
 			{Label: "hp", Scheme: "hp"},
 		},
 	})
+	// Figure 27 is a reproduction extension: what the serving model
+	// itself costs at connection scale. Three curves over the same
+	// write-heavy hashmap, swept from 1k to 10k mostly-idle
+	// singleton-pipeline connections: the PR-5 goroutine-per-connection
+	// baseline, the readiness poller (idle conns park their fds in
+	// epoll/kqueue, a bounded worker pool services the readable ones),
+	// and the poller with out-of-order reply completion on top of
+	// coalesced apply. The gauge is Result.PeakSrvGoroutines — the
+	// server-only goroutine high-water mark, which must grow O(conns) for
+	// the baseline and stay O(workers) for the polled curves — plus
+	// PeakFDs for the descriptor bill the goroutines no longer hide.
+	figs = append(figs, Figure{
+		ID:        "27",
+		Caption:   "x86-64: hashmap served throughput and server goroutine high-water vs connection count, goroutine-per-conn vs readiness poller vs poller+OOO (reproduction extension)",
+		Structure: "hashmap",
+		Workload:  WriteHeavy,
+		Metric:    "throughput",
+		Sweep:     "conns",
+		Xs:        []int{1000, 2500, 5000, 10000},
+		Curves: []Curve{
+			{Label: "hyaline-perconn", Scheme: "hyaline", Pipeline: 1},
+			{Label: "hyaline-poll", Scheme: "hyaline", Pipeline: 1, Poll: true},
+			{Label: "hyaline-poll-ooo", Scheme: "hyaline", Pipeline: 1, Poll: true, OOO: true, Coalesce: true},
+		},
+	})
 	return figs
 }
 
@@ -481,6 +512,8 @@ func (f Figure) Run(opts RunOptions) (Table, error) {
 				cfg.Conns = x
 				cfg.Pipeline = curve.Pipeline
 				cfg.Coalesce = curve.Coalesce
+				cfg.Poll = curve.Poll
+				cfg.OOO = curve.OOO
 			case "shards":
 				cfg.Threads = opts.ActiveThreads
 				cfg.Shards = x

@@ -5,19 +5,28 @@
 // Status code; the two ranges are disjoint, so a desynchronized peer is
 // detected instead of misinterpreted.
 //
-// Replies are returned strictly in request order on each connection
-// (the server coalesces a run of data commands into one batched KV
-// apply — per connection, or merged across connections by the
-// cross-connection coalescer), so a client that pipelines N requests
-// can read N replies back by FIFO counting. Sequence numbers exist but
-// are opt-in: a client that sends a HELLO frame with FlagSeq switches
-// the connection's data commands (GET/SET/DEL/GETB/SETB/DELB) to the
-// SEQ variant, whose payloads — and whose replies' payloads — carry a
-// little-endian uint32 sequence id prefix. The server still answers in
-// request order; the ids let an open-loop client match completions and
-// attribute per-request latency without counting, which is what makes
-// coalesced serving measurable from the outside. Meta commands
-// (PING/LEN/STATS/HELLO) never carry sequence ids in either mode.
+// Without sequence framing, replies are returned strictly in request
+// order on each connection (the server coalesces a run of data
+// commands into one batched KV apply — per connection, or merged
+// across connections by the cross-connection coalescer), so a client
+// that pipelines N requests can read N replies back by FIFO counting.
+// Sequence numbers are opt-in: a client that sends a HELLO frame with
+// FlagSeq switches the connection's data commands
+// (GET/SET/DEL/GETB/SETB/DELB) to the SEQ variant, whose payloads —
+// and whose replies' payloads — carry a little-endian uint32 sequence
+// id prefix.
+//
+// The out-of-order reply contract: once FlagSeq is negotiated, the
+// server MAY answer data commands in any order — each reply carries
+// the echoed sequence id of the request it answers, every accepted
+// request is answered exactly once, and that id match is the only
+// correlation a client may rely on. (A FIFO server is a degenerate
+// but conforming implementation; a client must tolerate both.) Meta
+// commands (PING/LEN/STATS/HELLO) never carry sequence ids in either
+// mode and remain strict ordering barriers: a meta reply is sent only
+// after every data reply for requests preceding it on the connection,
+// and before any reply for requests following it. Clients needing a
+// flush point in an out-of-order stream can therefore issue a PING.
 //
 // The decoder (Reader) reads into one reused buffer and hands out
 // payload slices aliasing that buffer — zero-copy, valid until the next
@@ -255,6 +264,16 @@ func (rd *Reader) Reset(src io.Reader) {
 	rd.r, rd.w = 0, 0
 	rd.err = nil
 }
+
+// ClearError clears a sticky read error so decoding can resume on the
+// same stream, keeping all buffered bytes and the read position. It is
+// only safe for errors that leave the stream well-framed — a read
+// deadline expiring mid-accumulation (the bytes read so far stay
+// buffered; ensure never consumes partial frames) — and exists for
+// event-driven servers that probe a connection under a deadline and
+// re-park it on timeout. Clearing a framing error (desync, EOF) just
+// reproduces it.
+func (rd *Reader) ClearError() { rd.err = nil }
 
 // ReadFrame decodes the next frame, blocking on the underlying stream as
 // needed. A clean close at a frame boundary returns io.EOF; mid-frame it

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -61,8 +62,10 @@ func RunBench(cfg bench.Config) (bench.Result, error) {
 		return bench.Result{}, err
 	}
 	srv := New(kv, Options{
-		Coalesce:       cfg.Coalesce,
+		Coalesce:       cfg.Coalesce || cfg.OOO,
 		CoalesceWindow: cfg.CoalesceWindow,
+		Poll:           cfg.Poll,
+		OOO:            cfg.OOO,
 	})
 	go srv.Serve(ln)
 
@@ -102,9 +105,32 @@ func RunBench(cfg bench.Config) (bench.Result, error) {
 			rng := rand.New(rand.NewSource(int64(i)*2654435761 + 99))
 			w := protocol.NewWriter(c)
 			rd := protocol.NewReader(c)
+			// The OOO path only arms on seq-framed connections, so the
+			// client negotiates FlagSeq; replies then complete in any
+			// order and the loop below only counts them.
+			if cfg.OOO {
+				w.Hello(protocol.FlagSeq)
+				if err := w.Flush(); err != nil {
+					started.Done()
+					fail(err)
+					return
+				}
+				f, err := rd.ReadFrame()
+				if err != nil {
+					started.Done()
+					fail(err)
+					return
+				}
+				if protocol.Status(f.Code) != protocol.StatusOK {
+					started.Done()
+					fail(fmt.Errorf("HELLO rejected: %s", f.Payload))
+					return
+				}
+			}
 			started.Done()
 			<-release
 			ops := int64(0)
+			var seq uint32
 			h := &hists[i]
 			for !stop.Load() {
 				for p := 0; p < cfg.Pipeline; p++ {
@@ -112,12 +138,25 @@ func RunBench(cfg bench.Config) (bench.Result, error) {
 					mix := rng.Intn(100)
 					switch {
 					case mix < cfg.Workload.InsertPct:
-						w.Set(key, key*31+7)
+						if cfg.OOO {
+							w.SetSeq(seq, key, key*31+7)
+						} else {
+							w.Set(key, key*31+7)
+						}
 					case mix < cfg.Workload.InsertPct+cfg.Workload.DeletePct:
-						w.Del(key)
+						if cfg.OOO {
+							w.DelSeq(seq, key)
+						} else {
+							w.Del(key)
+						}
 					default:
-						w.Get(key)
+						if cfg.OOO {
+							w.GetSeq(seq, key)
+						} else {
+							w.Get(key)
+						}
 					}
+					seq++
 				}
 				t0 := time.Now()
 				if err := w.Flush(); err != nil {
@@ -150,10 +189,12 @@ func RunBench(cfg bench.Config) (bench.Result, error) {
 	close(release)
 
 	var (
-		samples int64
-		sumUn   float64
-		maxUn   int64
-		peakGor int
+		samples    int64
+		sumUn      float64
+		maxUn      int64
+		peakGor    int
+		peakSrvGor int64
+		peakFDs    int
 	)
 	ticker := time.NewTicker(5 * time.Millisecond)
 	deadline := time.After(cfg.Duration)
@@ -169,6 +210,16 @@ sampling:
 			}
 			if g := runtime.NumGoroutine(); g > peakGor {
 				peakGor = g
+			}
+			// The server's own goroutine gauge — NumGoroutine above also
+			// counts the in-process bench clients, which is exactly the
+			// pollution figure 27's per-conn-vs-poller comparison must
+			// exclude.
+			if g := srv.Goroutines(); g > peakSrvGor {
+				peakSrvGor = g
+			}
+			if n := countOpenFDs(); n > peakFDs {
+				peakFDs = n
 			}
 		case <-failed:
 			break sampling // a dead point must not burn the whole window
@@ -203,25 +254,40 @@ sampling:
 	}
 	_, _, _, batches := srv.Counters()
 	return bench.Result{
-		Structure:      cfg.Structure,
-		Scheme:         cfg.Scheme,
-		Threads:        cfg.Threads,
-		Shards:         cfg.Shards,
-		Conns:          cfg.Conns,
-		Pipeline:       cfg.Pipeline,
-		Coalesce:       cfg.Coalesce,
-		Workload:       cfg.Workload.Name(),
-		Duration:       elapsed,
-		Ops:            ops,
-		ThroughputMops: float64(ops) / elapsed.Seconds() / 1e6,
-		AvgUnreclaimed: avg,
-		MaxUnreclaimed: maxUn,
-		Batches:        batches,
-		P50:            lat.Quantile(0.50),
-		P99:            lat.Quantile(0.99),
-		PeakGoroutines: peakGor,
-		FinalStats:     kv.Stats(),
+		Structure:         cfg.Structure,
+		Scheme:            cfg.Scheme,
+		Threads:           cfg.Threads,
+		Shards:            cfg.Shards,
+		Conns:             cfg.Conns,
+		Pipeline:          cfg.Pipeline,
+		Coalesce:          cfg.Coalesce || cfg.OOO,
+		Poll:              cfg.Poll,
+		OOO:               cfg.OOO,
+		Workload:          cfg.Workload.Name(),
+		Duration:          elapsed,
+		Ops:               ops,
+		ThroughputMops:    float64(ops) / elapsed.Seconds() / 1e6,
+		AvgUnreclaimed:    avg,
+		MaxUnreclaimed:    maxUn,
+		Batches:           batches,
+		P50:               lat.Quantile(0.50),
+		P99:               lat.Quantile(0.99),
+		PeakGoroutines:    peakGor,
+		PeakSrvGoroutines: peakSrvGor,
+		PeakFDs:           peakFDs,
+		FinalStats:        kv.Stats(),
 	}, nil
+}
+
+// countOpenFDs reports the process's open descriptor count via
+// /proc/self/fd, or 0 where /proc is unavailable (the FD column of
+// figure 27 is then omitted rather than fabricated).
+func countOpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return 0
+	}
+	return len(ents)
 }
 
 type paddedCount struct {

@@ -1,18 +1,31 @@
 // coalesce.go is the cross-connection apply coalescer: instead of each
-// reader goroutine issuing its own kv.Apply, readers submit their
-// decoded runs to a small set of sharded apply workers that merge runs
-// from many connections into one batch under a latency budget. One
-// session lease and one Enter/Leave bracket then serve requests from
-// dozens of connections — the batching amortization that per-connection
+// reader issuing its own kv.Apply, readers submit their decoded runs to
+// a small set of sharded apply workers that merge runs from many
+// connections into one batch under a latency budget. One session lease
+// and one Enter/Leave bracket then serve requests from dozens of
+// connections — the batching amortization that per-connection
 // pipelining only buys from clients that pipeline, extended to fleets
 // of singleton clients.
 //
 // A batch ships as soon as it holds Options.MaxPipeline operations, or
-// when Options.CoalesceWindow expires with the batch non-empty; a lone
-// run on an idle shard therefore waits at most one window. Each
-// connection's results are routed back to its reader, which encodes the
-// replies in its own request order — coalescing changes when a run is
-// applied, never the order of replies within a connection.
+// when Options.CoalesceWindow expires with the batch non-empty.
+//
+// Runs arrive in two flavours:
+//
+//   - Synchronous (FIFO): the reader parks until the worker scatters
+//     the run's results back into the conn's buffers and signals it;
+//     the reader then encodes the replies in request order. Coalescing
+//     changes when a run is applied, never the reply order.
+//
+//   - Asynchronous (OOO, seq-framed conns under Options.OOO): the
+//     reader submits and keeps decoding. Consecutive runs rotate across
+//     shards, and each worker encodes and writes its runs' seq-tagged
+//     replies the moment its batch lands — so replies from a later run
+//     may hit the wire before an earlier run's, which is exactly what
+//     FlagSeq licenses. The run holds one of the conn's oooWindow
+//     tokens until its replies are written; a worker writing to a stuck
+//     peer blocks at most Options.WriteTimeout before the conn is
+//     broken and its writes become no-ops.
 package server
 
 import (
@@ -22,6 +35,7 @@ import (
 	"time"
 
 	"hyaline"
+	"hyaline/internal/protocol"
 )
 
 // coQueue is each shard's submission queue depth. Submitting readers
@@ -29,10 +43,34 @@ import (
 // busy KV would exert, never an unbounded queue.
 const coQueue = 256
 
+// run is one connection's pending batch of data commands as the
+// coalescer sees it. Synchronous runs borrow the conn's own slices
+// (the reader is parked, so they are stable); async runs own copies,
+// pooled via runPool.
+type run struct {
+	cn   *conn
+	sync bool
+	ops  []hyaline.Op
+	bops []hyaline.BytesOp
+	seqs []uint32
+	// kvbuf backs async bytes runs: keys and values are deep-copied out
+	// of the reader's network buffer, which keeps moving underneath an
+	// async run.
+	kvbuf []byte
+}
+
+func (r *run) len() int {
+	if len(r.bops) > 0 {
+		return len(r.bops)
+	}
+	return len(r.ops)
+}
+
+var runPool = sync.Pool{New: func() any { return new(run) }}
+
 // coalescer fans decoded runs from all connections into per-shard apply
-// workers. Connections are assigned a shard round-robin at accept; a
-// worker owns its flat batch buffers, so the apply path allocates
-// nothing in steady state.
+// workers. A worker owns its flat batch buffers, so the apply path
+// allocates nothing in steady state.
 type coalescer struct {
 	srv      *Server
 	window   time.Duration
@@ -45,7 +83,7 @@ type coalescer struct {
 }
 
 type coShard struct {
-	ch chan *conn
+	ch chan *run
 	// Pad so two shards' queues do not share a cache line under the
 	// submit fan-in.
 	_ [56]byte
@@ -82,44 +120,59 @@ func newCoalescer(s *Server, opts Options) *coalescer {
 		stop:     make(chan struct{}),
 	}
 	for i := range co.shards {
-		co.shards[i].ch = make(chan *conn, coQueue)
+		co.shards[i].ch = make(chan *run, coQueue)
 		co.wg.Add(1)
+		s.gor.Add(1)
 		go co.run(&co.shards[i])
 	}
 	return co
 }
 
-// assign picks the shard for a new connection, round-robin so singleton
-// clients spread evenly and each shard sees enough concurrent runs to
-// merge.
+// assign picks a shard round-robin. Connections take one at accept for
+// their synchronous runs (spreading singleton clients so each shard
+// sees enough concurrent runs to merge); async submissions call it per
+// run, which is what lets consecutive runs of one connection complete
+// out of order.
 func (co *coalescer) assign() *coShard {
 	return &co.shards[int(co.next.Add(1)-1)%len(co.shards)]
 }
 
-// apply submits cn's pending run to its shard and blocks until the
+// apply submits cn's pending run synchronously and blocks until the
 // worker has filled cn's result buffers. The reader owns the run's
 // memory throughout — it is parked here, not reading — so bytes-mode
 // ops may keep aliasing the reader's network buffer.
 func (co *coalescer) apply(cn *conn) {
-	cn.shard.ch <- cn
+	r := &cn.frun
+	r.cn = cn
+	r.sync = true
+	r.ops, r.bops, r.seqs = cn.ops, cn.bops, cn.seqs
+	cn.shard.ch <- r
 	<-cn.applied
+}
+
+// submit hands an async run to a rotating shard; the worker that
+// applies it writes its replies and releases its token.
+func (co *coalescer) submit(r *run) {
+	co.assign().ch <- r
 }
 
 // shutdown stops the workers and waits for them to exit. Callers must
 // guarantee no reader can submit anymore (the Server calls this only
-// after every connection handler has finished).
+// after every connection has finished).
 func (co *coalescer) shutdown() {
 	co.once.Do(func() { close(co.stop) })
 	co.wg.Wait()
 }
 
 // run is one shard's apply worker: block for the first run, collect
-// more until the batch fills or the window expires, apply once, scatter
-// the results back and wake the submitting readers.
+// more until the batch fills or the window expires, apply once, then
+// scatter — synchronous runs wake their parked reader, async runs have
+// their replies encoded and written right here.
 func (co *coalescer) run(sh *coShard) {
 	defer co.wg.Done()
+	defer co.srv.gor.Add(-1)
 	var (
-		pending []*conn
+		pending []*run
 		ops     []hyaline.Op
 		res     []hyaline.Result
 		bops    []hyaline.BytesOp
@@ -129,14 +182,14 @@ func (co *coalescer) run(sh *coShard) {
 	timer := time.NewTimer(time.Hour)
 	timer.Stop()
 	for {
-		var first *conn
+		var first *run
 		select {
 		case first = <-sh.ch:
 		case <-co.stop:
 			return
 		}
 		pending = append(pending[:0], first)
-		total := first.runLen()
+		total := first.len()
 		switch {
 		case total >= co.maxBatch:
 			// The first run alone fills the batch; ship immediately.
@@ -145,9 +198,9 @@ func (co *coalescer) run(sh *coShard) {
 		collect:
 			for total < co.maxBatch {
 				select {
-				case c := <-sh.ch:
-					pending = append(pending, c)
-					total += c.runLen()
+				case r := <-sh.ch:
+					pending = append(pending, r)
+					total += r.len()
 				case <-timer.C:
 					break collect
 				}
@@ -157,9 +210,9 @@ func (co *coalescer) run(sh *coShard) {
 			// No latency budget: merge whatever is already queued.
 			for total < co.maxBatch {
 				select {
-				case c := <-sh.ch:
-					pending = append(pending, c)
-					total += c.runLen()
+				case r := <-sh.ch:
+					pending = append(pending, r)
+					total += r.len()
 				default:
 					total = co.maxBatch
 				}
@@ -168,43 +221,109 @@ func (co *coalescer) run(sh *coShard) {
 
 		if co.srv.kvb != nil {
 			bops = bops[:0]
-			for _, c := range pending {
-				bops = append(bops, c.bops...)
+			for _, r := range pending {
+				bops = append(bops, r.bops...)
 			}
 			bres, vbuf = co.srv.kvb.ApplyBytesInto(bres[:0], vbuf[:0], bops)
 			co.srv.batches.Add(1)
 			off := 0
-			for _, c := range pending {
-				n := len(c.bops)
-				c.scatterBytes(bres[off : off+n])
+			for _, r := range pending {
+				n := len(r.bops)
+				if r.sync {
+					r.cn.scatterBytes(bres[off : off+n])
+					r.cn.applied <- struct{}{}
+				} else {
+					co.deliverBytes(r, bres[off:off+n])
+				}
 				off += n
-				c.applied <- struct{}{}
 			}
 		} else {
 			ops = ops[:0]
-			for _, c := range pending {
-				ops = append(ops, c.ops...)
+			for _, r := range pending {
+				ops = append(ops, r.ops...)
 			}
 			res = co.srv.kv.ApplyInto(res[:0], ops)
 			co.srv.batches.Add(1)
 			off := 0
-			for _, c := range pending {
-				n := len(c.ops)
-				c.res = append(c.res[:0], res[off:off+n]...)
+			for _, r := range pending {
+				n := len(r.ops)
+				if r.sync {
+					r.cn.res = append(r.cn.res[:0], res[off:off+n]...)
+					r.cn.applied <- struct{}{}
+				} else {
+					co.deliver(r, res[off:off+n])
+				}
 				off += n
-				c.applied <- struct{}{}
 			}
 		}
 	}
 }
 
-// runLen is the pending run's length in whichever family this
-// connection accumulates.
-func (cn *conn) runLen() int {
-	if cn.bops != nil {
-		return len(cn.bops)
+// deliver encodes and writes an async uint64 run's replies — this shard
+// batch landed, so its slice of the results goes straight to the wire,
+// seq-tagged, without waiting for any other run of the window. The
+// conn's token is released only after the write: the oooBarrier
+// contract is "no tokens outstanding" == "every reply written".
+func (co *coalescer) deliver(r *run, res []hyaline.Result) {
+	bp := bufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	for i, op := range r.ops {
+		rr := res[i]
+		switch {
+		case op.Kind == hyaline.OpGet && rr.OK:
+			buf = protocol.AppendValueSeq(buf, r.seqs[i], rr.Val)
+		case rr.OK:
+			buf = protocol.AppendOKSeq(buf, r.seqs[i])
+		default:
+			buf = protocol.AppendNilSeq(buf, r.seqs[i])
+		}
 	}
-	return len(cn.ops)
+	co.srv.served.Add(int64(len(r.ops)))
+	cn := r.cn
+	cn.write(buf)
+	*bp = buf[:0]
+	bufPool.Put(bp)
+	r.release()
+	<-cn.tokens
+}
+
+// deliverBytes is deliver for bytes runs. Encoding copies each hit
+// value into the reply buffer, so nothing aliases the worker's batch
+// buffers once it moves on — the wire-level guarantee the OOO
+// conformance test pins down.
+func (co *coalescer) deliverBytes(r *run, bres []hyaline.BytesResult) {
+	bp := bufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	for i, op := range r.bops {
+		rr := bres[i]
+		switch {
+		case op.Kind == hyaline.OpGet && rr.OK:
+			buf = protocol.AppendValueBSeq(buf, r.seqs[i], rr.Val)
+		case rr.OK:
+			buf = protocol.AppendOKSeq(buf, r.seqs[i])
+		default:
+			buf = protocol.AppendNilSeq(buf, r.seqs[i])
+		}
+	}
+	co.srv.served.Add(int64(len(r.bops)))
+	cn := r.cn
+	cn.write(buf)
+	*bp = buf[:0]
+	bufPool.Put(bp)
+	r.release()
+	<-cn.tokens
+}
+
+// release returns an async run to the pool. The slices keep their
+// capacity; the conn pointer is dropped so a pooled run can never
+// resurrect a dead connection.
+func (r *run) release() {
+	r.cn = nil
+	r.ops = r.ops[:0]
+	r.bops = r.bops[:0]
+	r.seqs = r.seqs[:0]
+	r.kvbuf = r.kvbuf[:0]
+	runPool.Put(r)
 }
 
 // scatterBytes copies this connection's slice of a shared batch into

@@ -1,0 +1,92 @@
+//go:build linux
+
+package server
+
+import "syscall"
+
+const pollSupported = true
+
+// epollPoller is the Linux osPoller: one epoll instance plus a
+// self-pipe for waking a blocked wait at drain. Connections are
+// registered EPOLLIN|EPOLLRDHUP|EPOLLONESHOT — one-shot, so a fired
+// descriptor stays quiet until a worker re-arms it with EPOLL_CTL_MOD.
+type epollPoller struct {
+	epfd int
+	// wakeR/wakeW are the self-pipe; wakeR is registered in the epoll
+	// set (level-triggered, not one-shot) so a single write wakes every
+	// subsequent wait until drained.
+	wakeR, wakeW int
+	events       []syscall.EpollEvent
+}
+
+func newOSPoller() (osPoller, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	var p [2]int
+	if err := syscall.Pipe2(p[:], syscall.O_CLOEXEC|syscall.O_NONBLOCK); err != nil {
+		syscall.Close(epfd)
+		return nil, err
+	}
+	ep := &epollPoller{epfd: epfd, wakeR: p[0], wakeW: p[1], events: make([]syscall.EpollEvent, 128)}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(ep.wakeR)}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, ep.wakeR, &ev); err != nil {
+		ep.close()
+		return nil, err
+	}
+	return ep, nil
+}
+
+// connEvents is the registration mask for connection descriptors.
+// EPOLLRDHUP makes a peer close/half-close fire readiness, so the
+// worker's read observes the EOF promptly instead of the conn parking
+// forever.
+const connEvents = syscall.EPOLLIN | syscall.EPOLLRDHUP | (syscall.EPOLLONESHOT & 0xffffffff)
+
+func (ep *epollPoller) add(fd int) error {
+	ev := syscall.EpollEvent{Events: uint32(connEvents), Fd: int32(fd)}
+	return syscall.EpollCtl(ep.epfd, syscall.EPOLL_CTL_ADD, fd, &ev)
+}
+
+func (ep *epollPoller) arm(fd int) error {
+	ev := syscall.EpollEvent{Events: uint32(connEvents), Fd: int32(fd)}
+	return syscall.EpollCtl(ep.epfd, syscall.EPOLL_CTL_MOD, fd, &ev)
+}
+
+func (ep *epollPoller) wait(fds []int) (int, error) {
+	for {
+		n, err := syscall.EpollWait(ep.epfd, ep.events, -1)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return 0, err
+		}
+		out := 0
+		for _, ev := range ep.events[:n] {
+			fd := int(ev.Fd)
+			if fd == ep.wakeR {
+				var buf [64]byte
+				syscall.Read(ep.wakeR, buf[:]) // drain; next wake writes again
+				continue
+			}
+			if out < len(fds) {
+				fds[out] = fd
+				out++
+			}
+		}
+		return out, nil
+	}
+}
+
+func (ep *epollPoller) wake() {
+	var b [1]byte
+	syscall.Write(ep.wakeW, b[:]) // non-blocking pipe; a full pipe already wakes
+}
+
+func (ep *epollPoller) close() {
+	syscall.Close(ep.epfd)
+	syscall.Close(ep.wakeR)
+	syscall.Close(ep.wakeW)
+}

@@ -1,0 +1,92 @@
+//go:build darwin || freebsd
+
+package server
+
+import "syscall"
+
+const pollSupported = true
+
+// kqueuePoller is the BSD osPoller: one kqueue, EVFILT_READ with
+// EV_ONESHOT so a fired descriptor stays quiet until re-added (kqueue
+// re-arms one-shot filters by re-registering them). Waking uses a
+// zero-timeout user-triggerable read event on a pipe, same shape as
+// the Linux self-pipe.
+type kqueuePoller struct {
+	kq           int
+	wakeR, wakeW int
+	events       []syscall.Kevent_t
+}
+
+func newOSPoller() (osPoller, error) {
+	kq, err := syscall.Kqueue()
+	if err != nil {
+		return nil, err
+	}
+	var p [2]int
+	if err := syscall.Pipe(p[:]); err != nil {
+		syscall.Close(kq)
+		return nil, err
+	}
+	syscall.SetNonblock(p[0], true)
+	syscall.SetNonblock(p[1], true)
+	kp := &kqueuePoller{kq: kq, wakeR: p[0], wakeW: p[1], events: make([]syscall.Kevent_t, 128)}
+	// The wake pipe is level-triggered (no EV_ONESHOT): one write keeps
+	// waking until drained.
+	ev := syscall.Kevent_t{Filter: syscall.EVFILT_READ, Flags: syscall.EV_ADD}
+	syscall.SetKevent(&ev, kp.wakeR, syscall.EVFILT_READ, syscall.EV_ADD)
+	if _, err := syscall.Kevent(kq, []syscall.Kevent_t{ev}, nil, nil); err != nil {
+		kp.close()
+		return nil, err
+	}
+	return kp, nil
+}
+
+func (kp *kqueuePoller) register(fd int) error {
+	var ev syscall.Kevent_t
+	syscall.SetKevent(&ev, fd, syscall.EVFILT_READ, syscall.EV_ADD|syscall.EV_ONESHOT)
+	_, err := syscall.Kevent(kp.kq, []syscall.Kevent_t{ev}, nil, nil)
+	return err
+}
+
+func (kp *kqueuePoller) add(fd int) error { return kp.register(fd) }
+
+// arm re-registers the one-shot filter — on kqueue EV_ADD of an
+// existing ident/filter pair updates it in place.
+func (kp *kqueuePoller) arm(fd int) error { return kp.register(fd) }
+
+func (kp *kqueuePoller) wait(fds []int) (int, error) {
+	for {
+		n, err := syscall.Kevent(kp.kq, nil, kp.events, nil)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return 0, err
+		}
+		out := 0
+		for _, ev := range kp.events[:n] {
+			fd := int(ev.Ident)
+			if fd == kp.wakeR {
+				var buf [64]byte
+				syscall.Read(kp.wakeR, buf[:])
+				continue
+			}
+			if out < len(fds) {
+				fds[out] = fd
+				out++
+			}
+		}
+		return out, nil
+	}
+}
+
+func (kp *kqueuePoller) wake() {
+	var b [1]byte
+	syscall.Write(kp.wakeW, b[:])
+}
+
+func (kp *kqueuePoller) close() {
+	syscall.Close(kp.kq)
+	syscall.Close(kp.wakeR)
+	syscall.Close(kp.wakeW)
+}

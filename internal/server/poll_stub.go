@@ -1,0 +1,11 @@
+//go:build !linux && !darwin && !freebsd
+
+package server
+
+const pollSupported = false
+
+// newOSPoller has no backend on this platform; Options.Poll falls back
+// to the goroutine-per-connection model.
+func newOSPoller() (osPoller, error) {
+	return nil, errPollUnsupported
+}

@@ -1,7 +1,9 @@
 // Package server is the network front-end of the hyaline KV: a TCP
-// listener speaking the internal/protocol frame format, with one
-// goroutine pair per connection (a reader that decodes, batches and
-// applies; a writer that flushes encoded replies), riding hyaline.KV.
+// listener speaking the internal/protocol frame format, riding
+// hyaline.KV. Each connection is decoded by one reader (a dedicated
+// goroutine by default, a pooled worker under Options.Poll) that
+// batches data commands and writes encoded replies inline under a
+// per-connection write lock.
 //
 // The performance move is pipelining: a client that keeps several
 // requests in flight has its whole burst sitting in the reader's buffer
@@ -16,15 +18,19 @@
 // hand their decoded runs to sharded apply workers (see coalesce.go)
 // that merge runs from many connections into one batch under the
 // Options.CoalesceWindow latency budget, so a fleet of singleton clients
-// shares brackets the way one pipelined client does. Replies stay
-// strictly ordered within each connection either way; clients that want
-// to run open-loop against a coalesced server negotiate protocol
-// sequence ids via HELLO (see internal/protocol).
+// shares brackets the way one pipelined client does.
 //
-// This is also the first workload where goroutines, connections and
-// leased tids are all independently oversubscribed: C connections mean
-// 2C goroutines contending for the KV's MaxThreads tids, with the
-// session pool — not the accept loop — as the admission valve.
+// Options.Poll replaces the goroutine-per-connection model: idle
+// connections park their file descriptor in an OS readiness poller
+// (epoll on Linux, kqueue on Darwin/FreeBSD; see poll*.go) and are
+// handed to a bounded worker pool only when readable, so N mostly-idle
+// connections cost O(PollWorkers) server goroutines instead of N.
+//
+// Options.OOO completes seq-framed replies out of order: instead of
+// parking the reader until its whole run is applied, the run is
+// submitted asynchronously and each coalescer shard writes that run's
+// replies — seq-tagged — the moment its batch lands (see coalesce.go).
+// Meta commands (PING/LEN/STATS/HELLO) remain ordering barriers.
 package server
 
 import (
@@ -33,6 +39,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"hyaline"
@@ -56,6 +63,12 @@ const DefaultCoalesceWindow = 50 * time.Microsecond
 // write blocked until the OS buffer fills and then forever, so a few
 // seconds cleanly separates "slow" from "gone".
 const DefaultWriteTimeout = 5 * time.Second
+
+// oooWindow bounds how many async runs one connection may have in
+// flight with the coalescer. A reader that gets this far ahead parks on
+// the token channel — backpressure toward the socket, never an
+// unbounded outstanding table.
+const oooWindow = 4
 
 // ErrServerClosed is returned by Serve after Shutdown.
 var ErrServerClosed = errors.New("server: closed")
@@ -82,6 +95,26 @@ type Options struct {
 	// treated as broken (closed, drained, logged). Default
 	// DefaultWriteTimeout; negative disables the deadline.
 	WriteTimeout time.Duration
+	// Poll parks idle connections' file descriptors in an OS readiness
+	// poller and services readable ones from a bounded worker pool, so
+	// N mostly-idle connections cost O(PollWorkers) server goroutines
+	// instead of one per connection. Platforms without a poller backend
+	// — and listeners whose connections expose no descriptor — fall
+	// back to the goroutine-per-connection model transparently.
+	Poll bool
+	// PollWorkers bounds the poll-mode service pool. Default
+	// 2×GOMAXPROCS, min 2.
+	PollWorkers int
+	// OOO completes seq-framed replies out of order: a connection that
+	// negotiated FlagSeq has its runs applied asynchronously, each
+	// coalescer shard writing its replies as its batch lands instead of
+	// the reader parking until the whole window is applied. Implies
+	// Coalesce. Connections that did not negotiate FlagSeq keep FIFO
+	// replies; meta commands remain ordering barriers either way.
+	OOO bool
+	// MaxConns caps concurrently open connections; an accept beyond the
+	// cap is closed immediately (counted by Rejected). 0 = unlimited.
+	MaxConns int
 	// Logf, when non-nil, receives connection-level diagnostics (accept
 	// and write errors). Protocol errors are reported to the offending
 	// client, not logged.
@@ -117,8 +150,11 @@ type Server struct {
 	kv           Store
 	kvb          BytesStore
 	maxPipeline  int
+	maxConns     int
 	writeTimeout time.Duration
-	co           *coalescer // non-nil iff Options.Coalesce
+	co           *coalescer // non-nil iff Options.Coalesce/OOO
+	po           *poller    // non-nil iff Options.Poll on a supported platform
+	ooo          bool
 	logf         func(string, ...any)
 
 	mu       sync.Mutex
@@ -126,8 +162,10 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	draining bool
 
-	wg       sync.WaitGroup // one unit per live connection handler
+	wg       sync.WaitGroup // one unit per live connection
+	gor      atomic.Int64   // live server goroutines (handlers + workers)
 	accepted atomic.Int64
+	rejected atomic.Int64
 	served   atomic.Int64 // frames answered (data ops + meta commands)
 	batches  atomic.Int64 // kv.Apply calls issued
 }
@@ -138,9 +176,6 @@ type Server struct {
 func New(kv Store, opts Options) *Server {
 	s := newServer(opts)
 	s.kv = kv
-	if opts.Coalesce {
-		s.co = newCoalescer(s, opts)
-	}
 	return s
 }
 
@@ -150,9 +185,6 @@ func New(kv Store, opts Options) *Server {
 func NewBytes(kvb BytesStore, opts Options) *Server {
 	s := newServer(opts)
 	s.kvb = kvb
-	if opts.Coalesce {
-		s.co = newCoalescer(s, opts)
-	}
 	return s
 }
 
@@ -171,13 +203,31 @@ func newServer(opts Options) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{
+	s := &Server{
 		maxPipeline:  opts.MaxPipeline,
+		maxConns:     opts.MaxConns,
 		writeTimeout: wt,
+		ooo:          opts.OOO,
 		logf:         logf,
 		conns:        map[net.Conn]struct{}{},
 	}
+	if opts.Coalesce || opts.OOO {
+		s.co = newCoalescer(s, opts)
+	}
+	if opts.Poll {
+		if p, err := newPoller(s, opts); err != nil {
+			s.logf("server: readiness poller unavailable (%v); falling back to goroutine-per-connection", err)
+		} else {
+			s.po = p
+		}
+	}
+	return s
 }
+
+// PollSupported reports whether this platform has a readiness-poller
+// backend (epoll/kqueue); where it is false, Options.Poll silently
+// keeps the goroutine-per-connection model.
+func PollSupported() bool { return pollSupported }
 
 // kvLen returns the backing map's entry count in either mode.
 func (s *Server) kvLen() int {
@@ -196,8 +246,11 @@ func (s *Server) snapshot() hyaline.Snapshot {
 }
 
 // Serve accepts connections on ln until Shutdown (returning
-// ErrServerClosed) or a fatal accept error. The listener is closed when
-// Serve returns.
+// ErrServerClosed) or a fatal accept error. Transient accept failures —
+// EMFILE/ENFILE under descriptor pressure, ECONNABORTED/ECONNRESET
+// races, temporary network errors — are retried with exponential
+// backoff (5ms doubling to 1s, the net/http pattern) instead of killing
+// the server. The listener is closed when Serve returns.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.draining {
@@ -208,30 +261,77 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.mu.Unlock()
 	defer ln.Close()
+	var backoff time.Duration
 	for {
 		c, err := ln.Accept()
 		if err != nil {
 			if s.isDraining() || errors.Is(err, net.ErrClosed) {
 				return ErrServerClosed
 			}
+			if isTransientAccept(err) {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				s.logf("server: accept: %v; retrying in %v", err, backoff)
+				// Shutdown closes the listener, so the sleep only defers
+				// the ErrClosed exit by at most one backoff step.
+				time.Sleep(backoff)
+				continue
+			}
 			return err
 		}
+		backoff = 0
 		s.accepted.Add(1)
 		if !s.track(c) {
-			c.Close() // lost the race with Shutdown
+			c.Close() // draining, or over MaxConns
 			continue
 		}
-		go newConn(s, c).run()
+		s.startConn(c)
 	}
+}
+
+// isTransientAccept classifies accept errors worth retrying: descriptor
+// exhaustion, the client aborting between SYN and accept, and anything
+// the net package itself flags as temporary or a timeout.
+func isTransientAccept(err error) bool {
+	switch {
+	case errors.Is(err, syscall.EMFILE), errors.Is(err, syscall.ENFILE),
+		errors.Is(err, syscall.ECONNABORTED), errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EINTR):
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && (ne.Timeout() || ne.Temporary()) { //nolint:staticcheck // the net/http accept-retry contract
+		return true
+	}
+	return false
+}
+
+// startConn hands a tracked connection to its serving model: parked in
+// the readiness poller when one is running (and the conn exposes a
+// descriptor), a dedicated reader goroutine otherwise.
+func (s *Server) startConn(c net.Conn) {
+	cn := newConn(s, c)
+	if s.po != nil && s.po.register(cn) {
+		return // parked; a poll worker serves it when readable
+	}
+	s.gor.Add(1)
+	go func() {
+		defer s.gor.Add(-1)
+		cn.run()
+	}()
 }
 
 // Shutdown gracefully stops the server: the listener closes, every
 // connection finishes the pipeline window it is processing (its batch
-// bracket completes and its replies are written), and idle connections
-// are released from their blocking read. When ctx expires first, the
-// remaining connections are closed forcibly. The KV is untouched — the
-// caller owns its lifecycle (and can assert kv.InFlight() == 0 once
-// Shutdown returns).
+// bracket completes and its replies — including out-of-order ones still
+// with the coalescer — are written), idle connections are released from
+// their blocking read or swept out of the poller, and the poll workers
+// exit. When ctx expires first, the remaining connections are closed
+// forcibly. The KV is untouched — the caller owns its lifecycle (and
+// can assert kv.InFlight() == 0 once Shutdown returns).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -252,8 +352,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	done := make(chan struct{})
 	go func() {
+		if s.po != nil {
+			// Stop the poller first: its workers finish their current
+			// window and every parked conn is torn down, each releasing
+			// its s.wg unit.
+			s.po.drain()
+		}
 		s.wg.Wait()
-		// Every handler has exited, so no reader can submit to the
+		// Every connection has exited, so nothing can submit to the
 		// coalescer anymore; its workers can now stop. Doing this before
 		// signalling done means "Shutdown returned cleanly" implies no
 		// server goroutine — handler or worker — is left behind.
@@ -286,22 +392,37 @@ func (s *Server) Counters() (accepted, active, served, batches int64) {
 	return s.accepted.Load(), active, s.served.Load(), s.batches.Load()
 }
 
+// Goroutines reports how many goroutines the server is currently
+// running on behalf of its connections and workers: dedicated
+// connection readers, poll workers and the poller loop, and coalescer
+// shard workers. Under Options.Poll this stays O(PollWorkers) no matter
+// how many idle connections are parked — the gauge figure 27 plots.
+func (s *Server) Goroutines() int64 { return s.gor.Load() }
+
+// Rejected counts accepts refused by Options.MaxConns.
+func (s *Server) Rejected() int64 { return s.rejected.Load() }
+
 func (s *Server) isDraining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
 }
 
-// track registers a live connection; during drain it refuses (and the
-// late conn is closed unserved) so Shutdown's snapshot stays complete.
-// The wg.Add happens inside the critical section: Shutdown sets draining
-// under the same mutex before it calls wg.Wait, so every accepted
-// connection's handler is either counted by that Wait or refused here —
-// an Add can never race the Wait.
+// track registers a live connection; during drain — or beyond
+// Options.MaxConns — it refuses (and the late conn is closed unserved)
+// so Shutdown's snapshot stays complete and the cap holds. The wg.Add
+// happens inside the critical section: Shutdown sets draining under the
+// same mutex before it calls wg.Wait, so every accepted connection is
+// either counted by that Wait or refused here — an Add can never race
+// the Wait.
 func (s *Server) track(c net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
+		return false
+	}
+	if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+		s.rejected.Add(1)
 		return false
 	}
 	s.conns[c] = struct{}{}
@@ -336,34 +457,28 @@ func (s *Server) appendStats(b []byte) []byte {
 	})
 }
 
-// bufPool recycles reply buffers between the reader and writer halves of
-// every connection.
+// bufPool recycles reply buffers: each connection's window buffer, and
+// the per-run reply buffers the OOO scatter path encodes into.
 var bufPool = sync.Pool{New: func() any {
 	b := make([]byte, 0, 2048)
 	return &b
 }}
 
-// outQueue is the reply-buffer depth between reader and writer: enough
-// that the reader can start the next window while the previous replies
-// drain, small enough that a client that never reads exerts backpressure
-// instead of ballooning the server.
-const outQueue = 4
-
-// conn is one connection's state, owned by its reader goroutine.
+// conn is one connection's state, owned by whichever goroutine is
+// currently reading it (its dedicated reader, or a poll worker).
 type conn struct {
 	srv *Server
 	c   net.Conn
 	rd  *protocol.Reader
-	out chan *[]byte
 
 	ops []hyaline.Op     // pending data commands of the current run
 	res []hyaline.Result // reusable Apply result buffer
 
 	// The bytes-mode run. bops entries alias the reader's buffer — safe
-	// because only a blocking ReadFrame compacts it, and every run is
-	// flushed before the loop returns to ReadFrame — so a pipelined
-	// window of SETBs is applied without copying a single payload byte
-	// on the request path.
+	// in FIFO modes because the reader is parked while the run is
+	// applied and every run is flushed before the loop returns to
+	// ReadFrame. The OOO path deep-copies them into run-owned memory at
+	// submit time instead (see takeRun).
 	bops []hyaline.BytesOp
 	bres []hyaline.BytesResult // reusable ApplyBytesInto result buffer
 	vbuf []byte                // reusable value buffer for GETB hits
@@ -377,11 +492,32 @@ type conn struct {
 	seq  bool
 	seqs []uint32
 
-	// Coalesced-mode rendezvous: the reader parks on applied after
-	// handing itself to its shard's worker, which fills res/bres (and
+	// Replies are written inline under wmu by whoever produced them —
+	// the reader at window end, a coalescer shard in OOO mode. A failed
+	// or timed-out write marks the conn broken and closes it; later
+	// writes are dropped (the peer is gone either way).
+	wmu    sync.Mutex
+	broken bool
+
+	// FIFO coalesced-mode rendezvous: the reader parks on applied after
+	// submitting frun to its shard's worker, which fills res/bres (and
 	// vbuf) and signals. Nil when the server applies per-connection.
 	applied chan struct{}
 	shard   *coShard
+	frun    run
+
+	// OOO mode: ooo is armed by HELLO when the server completes out of
+	// order; tokens counts async runs in flight (cap oooWindow), the
+	// reader blocking on it for backpressure and draining it fully at
+	// ordering barriers and teardown.
+	ooo    bool
+	tokens chan struct{}
+
+	// Poll mode: the conn's descriptor and its poller state machine
+	// (pollIdle → pollQueued → pollRunning → back to pollIdle, or
+	// pollDead exactly once at teardown).
+	fd     int
+	pstate atomic.Int32
 
 	fatal bool // protocol error: an ERR reply is queued, close after flushing
 }
@@ -397,7 +533,6 @@ func newConn(s *Server, c net.Conn) *conn {
 		srv: s,
 		c:   c,
 		rd:  protocol.NewReader(c),
-		out: make(chan *[]byte, outQueue),
 		bp:  bp,
 		buf: (*bp)[:0],
 	}
@@ -416,14 +551,10 @@ func newConn(s *Server, c net.Conn) *conn {
 	return cn
 }
 
-// run is the reader half: it decodes one pipeline window at a time,
-// coalesces its data commands into kv.Apply batches, and hands the
-// window's encoded replies to the writer half.
+// run is the dedicated-reader model: decode one pipeline window at a
+// time, apply its data commands in batches, write the replies, repeat
+// until the peer goes away or the server drains.
 func (cn *conn) run() {
-	defer cn.srv.wg.Done()
-	writerDone := make(chan struct{})
-	go cn.writeLoop(writerDone)
-
 	for {
 		// Block for the first frame of a window; everything else the
 		// client pipelined behind it is already buffered and consumed
@@ -432,62 +563,78 @@ func (cn *conn) run() {
 		if err != nil {
 			break // EOF, drain deadline, or network error
 		}
-		cn.frame(f)
-		for !cn.fatal {
-			f, ok, err := cn.rd.TryReadFrame()
-			if err != nil {
-				cn.protoErr(err)
-				break
-			}
-			if !ok {
-				break
-			}
-			cn.frame(f)
-		}
-		cn.flushOps()
-		cn.send()
+		cn.window(f)
 		if cn.fatal || cn.srv.isDraining() {
 			break
 		}
 	}
-
-	close(cn.out)
-	<-writerDone
-	cn.c.Close()
-	cn.srv.untrack(cn.c)
-	bufPool.Put(cn.bp)
+	cn.teardown()
 }
 
-// writeLoop is the writer half: one Write per reply buffer, recycling
-// buffers through bufPool. On a write error it closes the connection so
-// the reader unblocks, then keeps draining so the reader never stalls
-// on a full channel.
-func (cn *conn) writeLoop(done chan<- struct{}) {
-	defer close(done)
-	broken := false
-	for bp := range cn.out {
-		if !broken {
-			// A deadline per Write, not per connection: a client may idle
-			// forever between windows, but once replies are in hand a peer
-			// that will not drain its socket is indistinguishable from a
-			// dead one.
-			if wt := cn.srv.writeTimeout; wt > 0 {
-				cn.c.SetWriteDeadline(time.Now().Add(wt))
-			}
-			if _, err := cn.c.Write(*bp); err != nil {
-				broken = true
-				cn.srv.logf("server: write to %s: %v", cn.c.RemoteAddr(), err)
-				cn.c.Close()
-			}
+// window handles one pipeline window starting at its first frame:
+// every further frame already buffered is consumed, the pending run is
+// flushed and the window's replies are written.
+func (cn *conn) window(f protocol.Frame) {
+	cn.frame(f)
+	for !cn.fatal {
+		f, ok, err := cn.rd.TryReadFrame()
+		if err != nil {
+			cn.protoErr(err)
+			break
 		}
-		*bp = (*bp)[:0]
-		bufPool.Put(bp)
+		if !ok {
+			break
+		}
+		cn.frame(f)
+	}
+	cn.flushOps()
+	cn.send()
+}
+
+// teardown retires the connection exactly once: outstanding OOO runs
+// are waited out (their replies written by the coalescer workers, who
+// must never touch a closed conn), then the socket closes and the
+// server's books are settled.
+func (cn *conn) teardown() {
+	cn.oooBarrier()
+	cn.c.Close()
+	cn.srv.untrack(cn.c)
+	*cn.bp = cn.buf[:0]
+	bufPool.Put(cn.bp)
+	cn.srv.wg.Done()
+}
+
+// write ships one encoded reply buffer to the peer, serialized against
+// concurrent producers (the reader and, in OOO mode, coalescer shard
+// workers). On error or deadline expiry the conn is marked broken and
+// closed — which also unblocks its reader — and later writes are
+// dropped rather than blocking anyone.
+func (cn *conn) write(buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	if cn.broken {
+		return
+	}
+	// A deadline per Write, not per connection: a client may idle
+	// forever between windows, but once replies are in hand a peer that
+	// will not drain its socket is indistinguishable from a dead one.
+	if wt := cn.srv.writeTimeout; wt > 0 {
+		cn.c.SetWriteDeadline(time.Now().Add(wt))
+	}
+	if _, err := cn.c.Write(buf); err != nil {
+		cn.broken = true
+		cn.srv.logf("server: write to %s: %v", cn.c.RemoteAddr(), err)
+		cn.c.Close()
 	}
 }
 
 // frame handles one decoded request frame. Data commands accumulate into
 // the pending Apply run; meta commands (PING/LEN/STATS/HELLO) are
-// ordering barriers — they flush the run, then answer inline while the
+// ordering barriers — they flush the run (and in OOO mode wait for every
+// outstanding reply to hit the wire), then answer inline while the
 // frame payload is still valid.
 func (cn *conn) frame(f protocol.Frame) {
 	op := protocol.Op(f.Code)
@@ -526,24 +673,51 @@ func (cn *conn) frame(f protocol.Frame) {
 		cn.pushBytes(hyaline.BytesOp{Kind: hyaline.OpDelete, Key: key}, seq)
 	case protocol.OpHello:
 		// A barrier like the other meta commands: the pending run is
-		// encoded under the old framing before the switch takes effect.
-		cn.flushOps()
+		// completed under the old framing before the switch takes effect.
+		cn.metaBarrier()
 		accepted := payload[0] & protocol.SupportedFlags
 		cn.seq = accepted&protocol.FlagSeq != 0
+		cn.ooo = cn.seq && cn.srv.ooo
+		if cn.ooo && cn.tokens == nil {
+			cn.tokens = make(chan struct{}, oooWindow)
+		}
 		cn.buf = protocol.AppendHelloReply(cn.buf, accepted)
 		cn.srv.served.Add(1)
+		cn.metaFlush()
 	case protocol.OpPing:
-		cn.flushOps()
+		cn.metaBarrier()
 		cn.buf = protocol.AppendPingReply(cn.buf, f.Payload)
 		cn.srv.served.Add(1)
+		cn.metaFlush()
 	case protocol.OpLen:
-		cn.flushOps()
+		cn.metaBarrier()
 		cn.buf = protocol.AppendValue(cn.buf, uint64(cn.srv.kvLen()))
 		cn.srv.served.Add(1)
+		cn.metaFlush()
 	case protocol.OpStats:
-		cn.flushOps()
+		cn.metaBarrier()
 		cn.buf = cn.srv.appendStats(cn.buf)
 		cn.srv.served.Add(1)
+		cn.metaFlush()
+	}
+}
+
+// metaBarrier enforces the ordering contract of a meta command: the
+// pending run flushes, and in OOO mode every outstanding reply is on
+// the wire before the meta reply is produced.
+func (cn *conn) metaBarrier() {
+	cn.flushOps()
+	if cn.ooo {
+		cn.oooBarrier()
+	}
+}
+
+// metaFlush writes a meta reply immediately in OOO mode: replies of
+// runs submitted after the barrier may land at any time, and the
+// barrier promises they land *after* the meta reply.
+func (cn *conn) metaFlush() {
+	if cn.ooo {
+		cn.send()
 	}
 }
 
@@ -576,15 +750,18 @@ func errWrongFamily(kind hyaline.OpKind, got, serves string) error {
 }
 
 // flushOps applies the pending run — one session lease, one Enter/Leave
-// bracket, shared with other connections' runs when coalescing — and
-// encodes its replies in request order. A connection only ever
-// accumulates one family of run (the server is single-mode), so at most
-// one branch has work.
+// bracket, shared with other connections' runs when coalescing. In FIFO
+// modes the replies are encoded here in request order; in OOO mode the
+// run is handed to the coalescer asynchronously and the shard worker
+// that applies it writes its replies.
 func (cn *conn) flushOps() {
 	if len(cn.ops) == 0 && len(cn.bops) == 0 {
 		return
 	}
 	switch {
+	case cn.ooo:
+		cn.srv.co.submit(cn.takeRun())
+		return
 	case cn.srv.co != nil:
 		// The shard worker fills cn.res/cn.bres (values copied into
 		// cn.vbuf) and counts the merged batch.
@@ -597,6 +774,70 @@ func (cn *conn) flushOps() {
 		cn.srv.batches.Add(1)
 	}
 	cn.encodeReplies()
+}
+
+// takeRun moves the pending run into a pooled, conn-independent run for
+// async submission, taking one outstanding token (blocking at the
+// oooWindow cap — backpressure toward the socket). Bytes ops are
+// deep-copied: the reader keeps consuming its network buffer while the
+// run waits, so the usual aliasing trick would hand the KV overwritten
+// keys.
+func (cn *conn) takeRun() *run {
+	r := runPool.Get().(*run)
+	r.cn = cn
+	r.sync = false
+	r.seqs = append(r.seqs[:0], cn.seqs...)
+	if len(cn.ops) > 0 {
+		r.ops = append(r.ops[:0], cn.ops...)
+		r.bops = r.bops[:0]
+		cn.ops = cn.ops[:0]
+	} else {
+		need := 0
+		for _, op := range cn.bops {
+			need += len(op.Key) + len(op.Val)
+		}
+		if cap(r.kvbuf) < need {
+			r.kvbuf = make([]byte, 0, need)
+		} else {
+			r.kvbuf = r.kvbuf[:0]
+		}
+		r.ops = r.ops[:0]
+		r.bops = r.bops[:0]
+		// Capacity is ensured above, so these appends never reallocate
+		// under the subslices being taken.
+		for _, op := range cn.bops {
+			ks := len(r.kvbuf)
+			r.kvbuf = append(r.kvbuf, op.Key...)
+			op.Key = r.kvbuf[ks:len(r.kvbuf):len(r.kvbuf)]
+			if op.Val != nil {
+				vs := len(r.kvbuf)
+				r.kvbuf = append(r.kvbuf, op.Val...)
+				op.Val = r.kvbuf[vs:len(r.kvbuf):len(r.kvbuf)]
+			}
+			r.bops = append(r.bops, op)
+		}
+		cn.bops = cn.bops[:0]
+	}
+	cn.seqs = cn.seqs[:0]
+	cn.tokens <- struct{}{}
+	return r
+}
+
+// oooBarrier blocks until no async run is outstanding — every reply the
+// coalescer owed this connection has been written. Acquiring all
+// oooWindow tokens is the proof: each outstanding run holds one, and
+// workers release theirs only after the run's replies hit the wire.
+// Only the conn's single reader calls this, so no submit can interleave.
+func (cn *conn) oooBarrier() {
+	if cn.tokens == nil {
+		return
+	}
+	for i := 0; i < oooWindow; i++ {
+		cn.tokens <- struct{}{}
+	}
+	for i := 0; i < oooWindow; i++ {
+		<-cn.tokens
+	}
 }
 
 // encodeReplies turns the applied run's results into wire replies, in
@@ -661,23 +902,21 @@ func (cn *conn) encodeReplies() {
 }
 
 // protoErr flushes what came before the malformed frame (those requests
-// were well-formed and deserve their replies), queues an ERR reply, and
-// marks the connection for close — after a framing violation there is no
-// trustworthy boundary to resume parsing from.
+// were well-formed and deserve their replies, written before the ERR in
+// every mode), queues an ERR reply, and marks the connection for close —
+// after a framing violation there is no trustworthy boundary to resume
+// parsing from.
 func (cn *conn) protoErr(err error) {
-	cn.flushOps()
+	cn.metaBarrier()
 	cn.buf = protocol.AppendErr(cn.buf, err.Error())
 	cn.fatal = true
 }
 
-// send ships the window's replies to the writer half and arms a fresh
-// buffer.
+// send writes the window's accumulated replies and resets the buffer.
 func (cn *conn) send() {
 	if len(cn.buf) == 0 {
 		return
 	}
-	*cn.bp = cn.buf
-	cn.out <- cn.bp
-	cn.bp = bufPool.Get().(*[]byte)
-	cn.buf = (*cn.bp)[:0]
+	cn.write(cn.buf)
+	cn.buf = cn.buf[:0]
 }
