@@ -69,6 +69,7 @@ func run(args []string) error {
 		coalesce  = fs.Bool("coalesce", false, "single run: merge apply batches across connections (needs -conns)")
 		poll      = fs.Bool("poll", false, "single run: park idle connections in the readiness poller (needs -conns and a poller backend)")
 		ooo       = fs.Bool("ooo", false, "single run: complete replies out of order on seq-framed connections; implies -coalesce (needs -conns)")
+		emitMet   = fs.Bool("metrics", false, "single run: print the server's metrics-registry snapshot (JSON) after the result (needs -conns)")
 		valsize   = fs.Int("valuesize", 0, "single run: bytes payload size — switches to []byte keys/values (bytes structures only, e.g. blist)")
 		shards    = fs.Int("shards", 0, "single run: hash-shard across N independent structure+tracker partitions (0/1 = unsharded; may exceed -threads — idle shards just see less traffic)")
 		snapshot  = fs.String("snapshot", "", "emit a JSON benchmark snapshot to stdout: kv (uint64 baseline) or bytes (payload twin)")
@@ -113,6 +114,8 @@ func run(args []string) error {
 		return fmt.Errorf("-poll without -conns: the readiness poller parks client connections (add -conns)")
 	case *ooo && *conns == 0:
 		return fmt.Errorf("-ooo without -conns: out-of-order completion is a serving-layer mode (add -conns)")
+	case *emitMet && *conns == 0:
+		return fmt.Errorf("-metrics without -conns: the metrics registry lives in the server (add -conns)")
 	case *baseline != "" && *snapshot == "":
 		return fmt.Errorf("-baseline %q without -snapshot: the regression gate compares snapshot runs", *baseline)
 	case *conns > 0 && (*sessions || *gor > 0):
@@ -156,6 +159,7 @@ func run(args []string) error {
 			trim: *trim, sessions: *sessions, goroutines: *gor,
 			batch: *batch, conns: *conns, pipeline: *pipe,
 			coalesce: *coalesce, poll: *poll, ooo: *ooo,
+			metrics:   *emitMet,
 			valueSize: *valsize,
 			shards:    *shards,
 			slots:     *slots, prefill: *prefill,
@@ -261,7 +265,7 @@ type singleConfig struct {
 	rangeSpan, keyrange         uint64
 	duration                    time.Duration
 	trim, sessions, coalesce    bool
-	poll, ooo                   bool
+	poll, ooo, metrics          bool
 }
 
 func runSingle(c singleConfig) error {
@@ -305,6 +309,7 @@ func runSingle(c singleConfig) error {
 		OOO:        c.ooo,
 		ValueSize:  c.valueSize,
 		Shards:     c.shards,
+		Metrics:    c.metrics,
 		Prefill:    c.prefill,
 		KeyRange:   c.keyrange,
 		ArenaCap:   c.arenaCap,
@@ -319,6 +324,9 @@ func runSingle(c singleConfig) error {
 	if res.ScannedKeys > 0 {
 		fmt.Printf("  range scans visited %d keys (%.2f Mkeys/s)\n",
 			res.ScannedKeys, float64(res.ScannedKeys)/res.Duration.Seconds()/1e6)
+	}
+	if len(res.Metrics) > 0 {
+		fmt.Printf("  metrics: %s\n", res.Metrics)
 	}
 	return nil
 }

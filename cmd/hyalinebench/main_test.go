@@ -23,6 +23,7 @@ func TestFlagValidation(t *testing.T) {
 		{"negative conns", append(single, "-conns=-1"), "-conns"},
 		{"negative pipeline", append(single, "-pipeline=-1"), "-pipeline"},
 		{"pipeline without conns", append(single, "-pipeline=8"), "-conns"},
+		{"metrics without conns", append(single, "-metrics"), "-conns"},
 		{"conns with sessions", append(single, "-conns=2", "-sessions"), "-sessions"},
 		{"conns with batch", append(single, "-conns=2", "-batch=16"), "-batch"},
 		{"negative shards", append(single, "-shards=-1"), "-shards"},
@@ -63,6 +64,8 @@ func TestFlagValidationAccepts(t *testing.T) {
 		append([]string{"-structure", "hashmap", "-scheme", "epoch", "-shards", "8"}, common...),
 		// shards through serve mode: the server hosts a ShardedKV.
 		append([]string{"-structure", "hashmap", "-scheme", "epoch", "-shards", "4", "-conns", "2"}, common...),
+		// -metrics rides serve mode: the result embeds a registry snapshot.
+		append([]string{"-structure", "hashmap", "-scheme", "epoch", "-conns", "2", "-metrics"}, common...),
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {

@@ -37,6 +37,12 @@
 // out of order as each shard batch lands. -maxconns caps concurrent
 // connections; accepts beyond the cap are refused immediately.
 //
+// With -metrics ADDR the daemon serves an HTTP observability endpoint
+// on a second listener: /metrics (Prometheus text exposition),
+// /metrics.json (the raw registry snapshot) and the standard pprof
+// profiles under /debug/pprof/. It drains after the KV server so a
+// scraper can watch a shutdown to completion.
+//
 // The bound address is printed on startup (useful with port 0); drive it
 // with cmd/hyalineload. On SIGINT the server stops accepting, finishes
 // every in-flight pipeline window, writes the pending replies and exits,
@@ -50,12 +56,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"hyaline"
+	"hyaline/internal/metrics"
 	"hyaline/internal/server"
 )
 
@@ -86,6 +94,7 @@ func run(args []string) error {
 		pollWork  = fs.Int("pollworkers", 0, "poll-mode service pool size (0 = 2x GOMAXPROCS; -poll only)")
 		ooo       = fs.Bool("ooo", false, "complete seq-framed replies out of order as each coalesced shard batch lands (implies -coalesce)")
 		maxConns  = fs.Int("maxconns", 0, "cap on concurrently open connections; accepts beyond it are refused (0 = unlimited)")
+		metricsAt = fs.String("metrics", "", "HTTP observability listen address: /metrics (Prometheus), /metrics.json, /debug/pprof/ (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,7 +134,10 @@ func run(args []string) error {
 		srv *server.Server
 	)
 	logger := log.New(os.Stderr, "hyalined: ", 0)
+	reg := metrics.NewRegistry()
+	metrics.RegisterProcess(reg)
 	opts := server.Options{
+		Metrics:        reg,
 		MaxPipeline:    *pipeline,
 		Coalesce:       *coalesce || *ooo,
 		CoalesceWindow: *coWindow,
@@ -190,6 +202,24 @@ func run(args []string) error {
 	logger.Printf("listening on %s (structure=%s scheme=%s threads=%d shards=%d pipeline=%d bytes=%v coalesce=%v poll=%v ooo=%v maxconns=%d)",
 		ln.Addr(), fr.Structure(), fr.Scheme(), fr.MaxThreads(), fr.Snapshot().Shards, *pipeline, *bytesMode, opts.Coalesce, *poll, *ooo, *maxConns)
 
+	// The observability endpoint rides its own listener so a scrape or a
+	// profile can never contend with the serving port's accept loop.
+	var msrv *http.Server
+	if *metricsAt != "" {
+		mln, err := net.Listen("tcp", *metricsAt)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("-metrics %s: %w", *metricsAt, err)
+		}
+		msrv = &http.Server{Handler: metrics.Handler(srv.Metrics())}
+		logger.Printf("metrics on http://%s/metrics (also /metrics.json, /debug/pprof/)", mln.Addr())
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				logger.Printf("metrics listener: %v", err)
+			}
+		}()
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -207,6 +237,13 @@ func run(args []string) error {
 	defer cancel()
 	shutdownErr := srv.Shutdown(ctx)
 	<-serveErr // Serve has returned ErrServerClosed by now
+	if msrv != nil {
+		// After the KV server: a scraper can watch the drain right to the
+		// end, and the drain budget is not spent on lame-duck HTTP.
+		if err := msrv.Shutdown(ctx); err != nil {
+			msrv.Close()
+		}
+	}
 
 	fr.Flush()
 	accepted, _, served, batches := srv.Counters()

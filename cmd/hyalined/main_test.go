@@ -21,6 +21,7 @@ func TestFlagValidation(t *testing.T) {
 		{"negative maxconns", []string{"-maxconns=-1"}, "-maxconns"},
 		{"negative pollworkers", []string{"-poll", "-pollworkers=-2"}, "-pollworkers"},
 		{"unknown structure", []string{"-structure=no-such", "-addr=127.0.0.1:0"}, "no-such"},
+		{"bad metrics address", []string{"-metrics=256.256.256.256:0", "-addr=127.0.0.1:0"}, "-metrics"},
 		{"unknown scheme sharded", []string{"-shards=4", "-scheme=no-such", "-addr=127.0.0.1:0"}, "no-such"},
 	}
 	for _, c := range cases {

@@ -684,5 +684,7 @@ func printServerStats(addr string) error {
 		st.Structure, st.Scheme, st.MaxThreads, st.Shards, st.Conns, st.TotalConns, st.Ops)
 	fmt.Printf("          len=%d live=%d allocated=%d retired=%d freed=%d unreclaimed=%d\n",
 		st.Len, st.Live, st.Allocated, st.Retired, st.Freed, st.Unreclaimed())
+	fmt.Printf("          scans=%d goroutines=%d rejected=%d active-conns=%d\n",
+		st.Scans, st.Goroutines, st.Rejected, st.ActiveConns)
 	return nil
 }

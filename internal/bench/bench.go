@@ -13,6 +13,7 @@ package bench
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -156,6 +157,11 @@ type Config struct {
 	// prefill and duration; Leaky needs the headroom (capacity is virtual
 	// until touched).
 	ArenaCap int
+	// Metrics attaches the server's registry snapshot to the Result
+	// (client/server mode only): every counter, gauge and histogram the
+	// server accumulated over the run, in the same JSON shape
+	// /metrics.json serves.
+	Metrics bool
 }
 
 func (c *Config) fill() {
@@ -264,6 +270,10 @@ type Result struct {
 	// /proc/self/fd (0 where /proc is unavailable).
 	PeakFDs    int
 	FinalStats smr.Stats
+	// Metrics is the server's end-of-run registry snapshot (the
+	// /metrics.json point list), present only when Config.Metrics was
+	// set on a client/server run.
+	Metrics json.RawMessage `json:",omitempty"`
 }
 
 // String formats the result as one table row.

@@ -138,6 +138,7 @@ func (t *Tracker) Retire(tid int, idx ptr.Index) {
 // scan frees every limbo node whose retire epoch precedes all live
 // reservations.
 func (t *Tracker) scan(tid int) {
+	t.counters.Scan(tid)
 	minRes := uint64(inactive)
 	for i := range t.resv {
 		if e := t.resv[i].epoch.Load(); e < minRes {

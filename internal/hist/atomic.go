@@ -1,0 +1,66 @@
+// atomic.go is the concurrent variant of the histogram: same log-linear
+// bucket layout, every cell an atomic. Racing Record calls from any
+// number of goroutines are safe; reading happens through Snapshot, which
+// materializes a plain Hist so all the query methods (Quantile, Count,
+// CountBelow, Merge) come for free on an immutable copy.
+package hist
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Atomic is a Hist that tolerates concurrent Record calls. The zero
+// value is ready to use. The record path is wait-free — one atomic add
+// per touched cell, no locks, no allocation — which is what lets the
+// metrics layer observe on the server's serve path without a mutex or
+// a per-connection histogram merge.
+//
+// Contention note: concurrent recorders of *similar* values share a
+// bucket cell, so a worst-case workload (every goroutine recording the
+// same latency) serializes on one cache line plus the count/sum lines.
+// That is the deliberate trade against padding 496 buckets out to a
+// cache line each (a 32 KiB histogram); real latency streams spread
+// across buckets, and the count/sum adds dominate either way.
+type Atomic struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // total of recorded values, ns
+	buckets [numBuckets]atomic.Int64
+}
+
+// Record adds one sample.
+func (h *Atomic) Record(d time.Duration) { h.RecordN(d, 1) }
+
+// RecordN adds n samples of the same value — the weighted form the
+// server uses to charge one measured window latency to every operation
+// the window carried.
+func (h *Atomic) RecordN(d time.Duration, n int64) {
+	if n <= 0 {
+		return
+	}
+	v := uint64(d.Nanoseconds())
+	h.buckets[bucketOf(v)].Add(n)
+	h.sum.Add(int64(v) * n)
+	h.count.Add(n)
+}
+
+// Count returns the number of recorded samples.
+func (h *Atomic) Count() int64 { return h.count.Load() }
+
+// Snapshot copies the cells into a plain Hist for querying. Each cell
+// is read atomically but the whole is not an atomic cut: under
+// concurrent recording the copy may straddle an in-flight Record. The
+// derived count is recomputed from the copied buckets so Count() and
+// Quantile() always agree with each other; sum may be up to one
+// in-flight sample apart, which a monitoring scrape can honestly
+// tolerate.
+func (h *Atomic) Snapshot() Hist {
+	var s Hist
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.buckets[i] = n
+		s.count += n
+	}
+	s.sum = h.sum.Load()
+	return s
+}

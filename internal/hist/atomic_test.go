@@ -1,0 +1,175 @@
+package hist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drawStream produces a latency-shaped sample stream: log-uniform over
+// ~1ns..16s so every exponent row gets traffic, not just the middle.
+func drawStream(rng *rand.Rand, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		exp := rng.Intn(34) // top bit position 0..33
+		v := uint64(1)<<uint(exp) | rng.Uint64()&(uint64(1)<<uint(exp)-1)
+		out[i] = time.Duration(v)
+	}
+	return out
+}
+
+// TestMergeMatchesCombinedStream is the Merge property: recording two
+// streams separately and merging must be bucket-for-bucket identical to
+// recording the combined stream into one histogram — same count, same
+// sum, same quantile at every probed q.
+func TestMergeMatchesCombinedStream(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := drawStream(rng, 1+rng.Intn(5000))
+		b := drawStream(rng, 1+rng.Intn(5000))
+
+		var ha, hb, combined Hist
+		for _, d := range a {
+			ha.Record(d)
+			combined.Record(d)
+		}
+		for _, d := range b {
+			hb.Record(d)
+			combined.Record(d)
+		}
+		ha.Merge(&hb)
+
+		if ha.Count() != combined.Count() {
+			t.Fatalf("seed %d: merged count %d, combined %d", seed, ha.Count(), combined.Count())
+		}
+		if ha.Sum() != combined.Sum() {
+			t.Fatalf("seed %d: merged sum %v, combined %v", seed, ha.Sum(), combined.Sum())
+		}
+		if ha.buckets != combined.buckets {
+			t.Fatalf("seed %d: merged buckets differ from combined-stream buckets", seed)
+		}
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			if got, want := ha.Quantile(q), combined.Quantile(q); got != want {
+				t.Fatalf("seed %d: merged q%.2f = %v, combined %v", seed, q, got, want)
+			}
+		}
+	}
+}
+
+// TestMergedQuantileWithinBucketError checks the merged histogram's
+// quantiles against the exact quantiles of the combined sorted stream:
+// each must land within one bucket's relative error (6.25% worst case
+// per the package doc, plus half a bucket for the midpoint report).
+func TestMergedQuantileWithinBucketError(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := drawStream(rng, 4000)
+	b := drawStream(rng, 6000)
+
+	var ha, hb Hist
+	for _, d := range a {
+		ha.Record(d)
+	}
+	for _, d := range b {
+		hb.Record(d)
+	}
+	ha.Merge(&hb)
+
+	all := append(append([]time.Duration{}, a...), b...)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999} {
+		rank := int(q * float64(len(all)))
+		if rank >= len(all) {
+			rank = len(all) - 1
+		}
+		exact := float64(all[rank])
+		got := float64(ha.Quantile(q))
+		// One bucket spans 12.5% of its row; reporting the midpoint puts
+		// the estimate within ±6.25% of any sample in the bucket, and the
+		// ceil-vs-floor rank convention can shift the answer one bucket.
+		if tol := exact * 0.14; got < exact-tol-1 || got > exact+tol+1 {
+			t.Fatalf("q%.3f: merged quantile %v, exact %v (outside bucket error)", q, time.Duration(int64(got)), time.Duration(int64(exact)))
+		}
+	}
+}
+
+// TestAtomicMatchesHist records the same multiset of samples through
+// racing goroutines into an Atomic and sequentially into a Hist; the
+// snapshot must be cell-identical — concurrency must not lose, double
+// or misplace a sample.
+func TestAtomicMatchesHist(t *testing.T) {
+	const workers = 8
+	streams := make([][]time.Duration, workers)
+	var want Hist
+	for i := range streams {
+		streams[i] = drawStream(rand.New(rand.NewSource(int64(i+1))), 5000)
+		for _, d := range streams[i] {
+			want.Record(d)
+		}
+	}
+
+	var h Atomic
+	var wg sync.WaitGroup
+	for i := range streams {
+		wg.Add(1)
+		go func(s []time.Duration) {
+			defer wg.Done()
+			for _, d := range s {
+				h.Record(d)
+			}
+		}(streams[i])
+	}
+	wg.Wait()
+
+	got := h.Snapshot()
+	if got.buckets != want.buckets || got.count != want.count || got.sum != want.sum {
+		t.Fatalf("concurrent Atomic diverged from sequential Hist: count %d vs %d, sum %d vs %d",
+			got.count, want.count, got.sum, want.sum)
+	}
+}
+
+// TestAtomicRecordN: the weighted record charges n samples to one
+// bucket, and count/sum/quantiles see all of them.
+func TestAtomicRecordN(t *testing.T) {
+	var h Atomic
+	h.RecordN(100*time.Nanosecond, 7)
+	h.RecordN(0, 0)  // no-op
+	h.RecordN(0, -3) // no-op, not a decrement
+	s := h.Snapshot()
+	if s.Count() != 7 {
+		t.Fatalf("count = %d, want 7", s.Count())
+	}
+	if s.Sum() != 700*time.Nanosecond {
+		t.Fatalf("sum = %v, want 700ns", s.Sum())
+	}
+	var want Hist
+	for i := 0; i < 7; i++ {
+		want.Record(100 * time.Nanosecond)
+	}
+	if s.Quantile(0.5) != want.Quantile(0.5) {
+		t.Fatalf("weighted quantile %v, unweighted %v", s.Quantile(0.5), want.Quantile(0.5))
+	}
+}
+
+// TestCountBelow pins the exposition-encoder contract: at bucket-edge
+// bounds the count of samples strictly below is exact.
+func TestCountBelow(t *testing.T) {
+	var h Hist
+	for v := 0; v < 100; v++ {
+		h.Record(time.Duration(v))
+	}
+	if got := h.CountBelow(16); got != 16 {
+		t.Fatalf("CountBelow(16) = %d, want 16 (values 0..15)", got)
+	}
+	if got := h.CountBelow(64); got != 64 {
+		t.Fatalf("CountBelow(64) = %d, want 64", got)
+	}
+	if got := h.CountBelow(128); got != 100 {
+		t.Fatalf("CountBelow(128) = %d, want all 100", got)
+	}
+	if got := h.CountBelow(1); got != 1 {
+		t.Fatalf("CountBelow(1) = %d, want 1 (just the zero)", got)
+	}
+}

@@ -19,10 +19,16 @@ import (
 const numBuckets = 16 + 60*8
 
 // Hist accumulates nanosecond durations. The zero value is ready to
-// use. Not safe for concurrent use: give each worker its own Hist and
-// Merge at the end.
+// use.
+//
+// Not safe for concurrent use — this is a contract, not an oversight:
+// Record is a plain increment so single-owner recording costs no atomic
+// traffic. Give each worker its own Hist and Merge at the end, or use
+// Atomic when several goroutines must share one histogram (the metrics
+// registry's Observe path does).
 type Hist struct {
 	count   int64
+	sum     int64 // total of recorded values, ns
 	buckets [numBuckets]int64
 }
 
@@ -53,16 +59,35 @@ func bucketMid(i int) uint64 {
 
 // Record adds one sample.
 func (h *Hist) Record(d time.Duration) {
-	h.buckets[bucketOf(uint64(d.Nanoseconds()))]++
+	v := uint64(d.Nanoseconds())
+	h.buckets[bucketOf(v)]++
+	h.sum += int64(v)
 	h.count++
 }
 
 // Count returns the number of recorded samples.
 func (h *Hist) Count() int64 { return h.count }
 
+// Sum returns the exact total of the recorded values (unlike the
+// quantiles, which are bucket-approximate).
+func (h *Hist) Sum() time.Duration { return time.Duration(h.sum) }
+
+// CountBelow returns how many samples fell strictly below bound. It is
+// exact when bound is a bucket edge — any power of two, and every
+// integer up to 16 — which is what the Prometheus exposition encoder
+// feeds it; elsewhere it rounds down to the containing bucket's start.
+func (h *Hist) CountBelow(bound uint64) int64 {
+	var cum int64
+	for _, n := range h.buckets[:bucketOf(bound)] {
+		cum += n
+	}
+	return cum
+}
+
 // Merge folds o into h.
 func (h *Hist) Merge(o *Hist) {
 	h.count += o.count
+	h.sum += o.sum
 	for i := range h.buckets {
 		h.buckets[i] += o.buckets[i]
 	}

@@ -141,6 +141,7 @@ func (t *Tracker) Retire(tid int, idx ptr.Index) {
 
 // scan frees every limbo node not present in any thread's hazard slots.
 func (t *Tracker) scan(tid int) {
+	t.counters.Scan(tid)
 	ts := &t.threads[tid]
 	hz := ts.scratch[:0]
 	for i := range t.hazards {

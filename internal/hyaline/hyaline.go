@@ -588,7 +588,10 @@ func (t *Tracker) freeBatch(tid int, refsW ptr.Word) {
 }
 
 // freeBatchNow walks the batch chain and returns every node to the arena.
+// Hyaline has no limbo-list scan; each batch walk is its reclamation
+// pass, so it is what the Scans counter ticks on.
 func (t *Tracker) freeBatchNow(tid int, refsW ptr.Word) {
+	t.counters.Scan(tid)
 	refs := t.arena.Deref(refsW)
 	freed := int64(0)
 	cur := refs.BatchLink.Load()

@@ -156,6 +156,7 @@ func (t *Tracker) Retire(tid int, idx ptr.Index) {
 // scan frees limbo nodes whose [birth, retire] lifespan overlaps no
 // reservation interval.
 func (t *Tracker) scan(tid int) {
+	t.counters.Scan(tid)
 	ts := &t.threads[tid]
 	var keepHead ptr.Word
 	keepCount := 0

@@ -1,0 +1,212 @@
+// prom.go is the hand-rolled encoder side of the registry: Prometheus
+// text exposition format (version 0.0.4 — the `# HELP` / `# TYPE` /
+// sample-line grammar every scraper speaks) and a JSON twin carrying
+// the same snapshot for humans and scripts. No client library, no
+// dependency: the format is lines of text and this package emits them
+// directly from the atomic cells.
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteProm encodes every registered family in text exposition format.
+// Families appear in registration order; histogram series expand into
+// cumulative `_bucket{le="..."}` lines plus `_sum` and `_count`.
+//
+// Histogram boundary semantics: the log-linear buckets are exact at
+// power-of-two edges, so each `le` boundary reports the count of
+// samples *strictly below* the edge. For latency histograms (seconds)
+// that understates each cumulative count by at most the samples equal
+// to the exact nanosecond boundary — measure zero for real timings. For
+// size histograms the boundaries are emitted as 2^k-1 ("≤ 1", "≤ 3",
+// "≤ 7", ...), which CountBelow(2^k) answers exactly.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			if f.kind == kindHistogram {
+				writePromHist(bw, f.name, s)
+				continue
+			}
+			bw.WriteString(f.name)
+			bw.WriteString(s.lstr)
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.value()))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromHist emits one histogram series. A snapshot is taken once so
+// the bucket lines, sum and count are mutually consistent.
+func writePromHist(bw *bufio.Writer, name string, s *series) {
+	snap := s.h.Snapshot()
+	for _, bound := range s.h.bounds {
+		bw.WriteString(name)
+		bw.WriteString("_bucket")
+		le := float64(bound) * s.h.scale
+		if s.h.scale == 1 {
+			le = float64(bound - 1) // size ladder: "≤ 2^k-1", exact
+		}
+		writeLabelsWithLE(bw, s.lstr, formatValue(le))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(snap.CountBelow(bound), 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name)
+	bw.WriteString("_bucket")
+	writeLabelsWithLE(bw, s.lstr, "+Inf")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(snap.Count(), 10))
+	bw.WriteByte('\n')
+
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	bw.WriteString(s.lstr)
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(float64(snap.Sum().Nanoseconds()) * s.h.scale))
+	bw.WriteByte('\n')
+
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	bw.WriteString(s.lstr)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(snap.Count(), 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabelsWithLE merges a series' preformatted label string with the
+// le label a bucket line needs.
+func writeLabelsWithLE(bw *bufio.Writer, lstr, le string) {
+	if lstr == "" {
+		bw.WriteString(`{le="`)
+		bw.WriteString(le)
+		bw.WriteString(`"}`)
+		return
+	}
+	// lstr is `{...}`: splice le in before the closing brace.
+	bw.WriteString(lstr[:len(lstr)-1])
+	bw.WriteString(`,le="`)
+	bw.WriteString(le)
+	bw.WriteString(`"}`)
+}
+
+// formatValue renders a sample value the way the exposition format
+// expects: shortest round-trip float, integers without a decimal point.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp applies the exposition-format HELP escapes (backslash and
+// newline; quotes are legal in help text).
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// Point is one series in a registry snapshot — the JSON twin of a
+// exposition line. Histogram points carry count/sum and headline
+// quantiles instead of a single value.
+type Point struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	Value  float64           `json:"value"`
+	Count  int64             `json:"count,omitempty"`
+	Sum    float64           `json:"sum,omitempty"`
+	P50    float64           `json:"p50,omitempty"`
+	P99    float64           `json:"p99,omitempty"`
+	P999   float64           `json:"p999,omitempty"`
+}
+
+// Snapshot samples every series into a flat point list, in registration
+// order. Each cell is read atomically; the list as a whole is not an
+// atomic cut across instruments (the same honesty caveat as
+// hyaline.KV.Snapshot).
+func (r *Registry) Snapshot() []Point {
+	var pts []Point
+	for _, f := range r.families() {
+		for _, s := range f.series {
+			p := Point{Name: f.name, Kind: f.kind.String()}
+			if len(s.labels) > 0 {
+				p.Labels = make(map[string]string, len(s.labels)/2)
+				for i := 0; i+1 < len(s.labels); i += 2 {
+					p.Labels[s.labels[i]] = s.labels[i+1]
+				}
+			}
+			if f.kind == kindHistogram {
+				snap := s.h.Snapshot()
+				p.Count = snap.Count()
+				p.Sum = float64(snap.Sum().Nanoseconds()) * s.h.scale
+				p.P50 = float64(snap.Quantile(0.50).Nanoseconds()) * s.h.scale
+				p.P99 = float64(snap.Quantile(0.99).Nanoseconds()) * s.h.scale
+				p.P999 = float64(snap.Quantile(0.999).Nanoseconds()) * s.h.scale
+			} else {
+				p.Value = s.value()
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// WriteJSON encodes the snapshot as a JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// MarshalJSON lets a registry snapshot embed directly into other JSON
+// documents (the bench harness attaches one to its result rows).
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// Quantile is a convenience for tests and the bench harness: the q-th
+// quantile of a registered time histogram, in seconds (0 when the
+// series is absent or not a histogram).
+func (r *Registry) Quantile(name string, q float64, labels ...string) float64 {
+	lstr := labelString(labels)
+	r.mu.Lock()
+	f := r.index[name]
+	var found *series
+	if f != nil {
+		for _, s := range f.series {
+			if s.lstr == lstr {
+				found = s
+				break
+			}
+		}
+	}
+	r.mu.Unlock()
+	if found == nil || found.h == nil {
+		return 0
+	}
+	snap := found.h.Snapshot()
+	return float64(snap.Quantile(q).Nanoseconds()) * found.h.scale
+}

@@ -39,6 +39,10 @@ func FuzzProtocolParse(f *testing.F) {
 	replies = AppendValueB(replies, []byte("reply bytes"))
 	replies = AppendErr(replies, "nope")
 	replies = AppendStatsReply(replies, Stats{Structure: "hashmap", Scheme: "hyaline", Len: 5})
+	replies = AppendStatsReply(replies, Stats{
+		Structure: "hashmap", Scheme: "ebr",
+		Scans: 9, Goroutines: 33, Rejected: 2, ActiveConns: 7,
+	})
 	f.Add(replies)
 
 	f.Add([]byte{})

@@ -651,18 +651,22 @@ func KeyValB(p []byte) (key, val []byte, err error) {
 // except Conns, Len, Live and Unreclaimed-derived values, which are
 // point-in-time.
 type Stats struct {
-	Structure  string // data structure name
-	Scheme     string // reclamation scheme name
-	MaxThreads uint64 // leased-tid bound of the KV (total across shards)
-	Shards     uint64 // independent KV partitions (1 = unsharded)
-	Conns      uint64 // currently open connections
-	TotalConns uint64 // connections accepted since start
-	Ops        uint64 // operations served since start
-	Len        uint64 // entries in the map (approximate under churn)
-	Live       uint64 // arena nodes currently allocated
-	Allocated  uint64 // cumulative nodes handed out
-	Retired    uint64 // cumulative nodes retired
-	Freed      uint64 // cumulative nodes freed
+	Structure   string // data structure name
+	Scheme      string // reclamation scheme name
+	MaxThreads  uint64 // leased-tid bound of the KV (total across shards)
+	Shards      uint64 // independent KV partitions (1 = unsharded)
+	Conns       uint64 // currently open connections
+	TotalConns  uint64 // connections accepted since start
+	Ops         uint64 // operations served since start
+	Len         uint64 // entries in the map (approximate under churn)
+	Live        uint64 // arena nodes currently allocated
+	Allocated   uint64 // cumulative nodes handed out
+	Retired     uint64 // cumulative nodes retired
+	Freed       uint64 // cumulative nodes freed
+	Scans       uint64 // cumulative reclamation passes
+	Goroutines  uint64 // goroutines in the server process
+	Rejected    uint64 // connections refused at the MaxConns cap
+	ActiveConns uint64 // open connections not parked in the poller
 }
 
 // Unreclaimed returns the retired-but-not-freed gauge, the robustness
@@ -671,7 +675,7 @@ func (s Stats) Unreclaimed() uint64 { return s.Retired - s.Freed }
 
 // statsNumFields is the count of fixed uint64 fields after the two
 // length-prefixed name strings.
-const statsNumFields = 10
+const statsNumFields = 14
 
 // AppendStatsReply appends a StatusOK STATS reply. Panics if a name
 // exceeds 255 bytes (scheme/structure names are short identifiers).
@@ -688,6 +692,7 @@ func AppendStatsReply(b []byte, s Stats) []byte {
 	for _, v := range [statsNumFields]uint64{
 		s.MaxThreads, s.Shards, s.Conns, s.TotalConns, s.Ops, s.Len,
 		s.Live, s.Allocated, s.Retired, s.Freed,
+		s.Scans, s.Goroutines, s.Rejected, s.ActiveConns,
 	} {
 		b = binary.LittleEndian.AppendUint64(b, v)
 	}
@@ -722,6 +727,7 @@ func ParseStats(p []byte) (Stats, error) {
 	for _, dst := range [statsNumFields]*uint64{
 		&s.MaxThreads, &s.Shards, &s.Conns, &s.TotalConns, &s.Ops, &s.Len,
 		&s.Live, &s.Allocated, &s.Retired, &s.Freed,
+		&s.Scans, &s.Goroutines, &s.Rejected, &s.ActiveConns,
 	} {
 		*dst = binary.LittleEndian.Uint64(p)
 		p = p[8:]

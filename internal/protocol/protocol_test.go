@@ -130,18 +130,22 @@ func TestErrTruncated(t *testing.T) {
 // TestStatsRoundTrip exercises the STATS payload codec.
 func TestStatsRoundTrip(t *testing.T) {
 	in := Stats{
-		Structure:  "hashmap",
-		Scheme:     "hyaline-1s",
-		MaxThreads: 16,
-		Shards:     8,
-		Conns:      3,
-		TotalConns: 99,
-		Ops:        1 << 40,
-		Len:        50_000,
-		Live:       50_211,
-		Allocated:  1 << 50,
-		Retired:    123456,
-		Freed:      123000,
+		Structure:   "hashmap",
+		Scheme:      "hyaline-1s",
+		MaxThreads:  16,
+		Shards:      8,
+		Conns:       3,
+		TotalConns:  99,
+		Ops:         1 << 40,
+		Len:         50_000,
+		Live:        50_211,
+		Allocated:   1 << 50,
+		Retired:     123456,
+		Freed:       123000,
+		Scans:       777,
+		Goroutines:  42,
+		Rejected:    6,
+		ActiveConns: 2,
 	}
 	b := AppendStatsReply(nil, in)
 	rd := NewReader(bytes.NewReader(b))

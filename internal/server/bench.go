@@ -9,10 +9,10 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net"
-	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -21,6 +21,7 @@ import (
 	"hyaline"
 	"hyaline/internal/bench"
 	"hyaline/internal/hist"
+	"hyaline/internal/metrics"
 	"hyaline/internal/protocol"
 )
 
@@ -218,7 +219,7 @@ sampling:
 			if g := srv.Goroutines(); g > peakSrvGor {
 				peakSrvGor = g
 			}
-			if n := countOpenFDs(); n > peakFDs {
+			if n := metrics.OpenFDs(); n > peakFDs {
 				peakFDs = n
 			}
 		case <-failed:
@@ -253,6 +254,16 @@ sampling:
 		avg = sumUn / float64(samples)
 	}
 	_, _, _, batches := srv.Counters()
+	var regSnap json.RawMessage
+	if cfg.Metrics {
+		// The registry is the same one /metrics.json would serve; a
+		// bench row can therefore carry the full server-side view
+		// (latency histograms, batch fill, poll counters) next to the
+		// client-observed numbers.
+		if b, err := json.Marshal(srv.Metrics()); err == nil {
+			regSnap = b
+		}
+	}
 	return bench.Result{
 		Structure:         cfg.Structure,
 		Scheme:            cfg.Scheme,
@@ -276,18 +287,8 @@ sampling:
 		PeakSrvGoroutines: peakSrvGor,
 		PeakFDs:           peakFDs,
 		FinalStats:        kv.Stats(),
+		Metrics:           regSnap,
 	}, nil
-}
-
-// countOpenFDs reports the process's open descriptor count via
-// /proc/self/fd, or 0 where /proc is unavailable (the FD column of
-// figure 27 is then omitted rather than fabricated).
-func countOpenFDs() int {
-	ents, err := os.ReadDir("/proc/self/fd")
-	if err != nil {
-		return 0
-	}
-	return len(ents)
 }
 
 type paddedCount struct {

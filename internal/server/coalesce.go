@@ -50,6 +50,10 @@ const coQueue = 256
 type run struct {
 	cn   *conn
 	sync bool
+	// t0 is the owning window's decode timestamp, carried so the shard
+	// worker that writes an async run's replies can charge the
+	// decode→reply-flushed latency histogram.
+	t0   time.Time
 	ops  []hyaline.Op
 	bops []hyaline.BytesOp
 	seqs []uint32
@@ -122,7 +126,7 @@ func newCoalescer(s *Server, opts Options) *coalescer {
 	for i := range co.shards {
 		co.shards[i].ch = make(chan *run, coQueue)
 		co.wg.Add(1)
-		s.gor.Add(1)
+		s.m.goroutines.Inc()
 		go co.run(&co.shards[i])
 	}
 	return co
@@ -170,7 +174,7 @@ func (co *coalescer) shutdown() {
 // their replies encoded and written right here.
 func (co *coalescer) run(sh *coShard) {
 	defer co.wg.Done()
-	defer co.srv.gor.Add(-1)
+	defer co.srv.m.goroutines.Dec()
 	var (
 		pending []*run
 		ops     []hyaline.Op
@@ -225,7 +229,9 @@ func (co *coalescer) run(sh *coShard) {
 				bops = append(bops, r.bops...)
 			}
 			bres, vbuf = co.srv.kvb.ApplyBytesInto(bres[:0], vbuf[:0], bops)
-			co.srv.batches.Add(1)
+			co.srv.m.batches.Inc()
+			co.srv.m.batchOps.ObserveSize(len(bops))
+			co.srv.m.coalesceRuns.ObserveSize(len(pending))
 			off := 0
 			for _, r := range pending {
 				n := len(r.bops)
@@ -243,7 +249,9 @@ func (co *coalescer) run(sh *coShard) {
 				ops = append(ops, r.ops...)
 			}
 			res = co.srv.kv.ApplyInto(res[:0], ops)
-			co.srv.batches.Add(1)
+			co.srv.m.batches.Inc()
+			co.srv.m.batchOps.ObserveSize(len(ops))
+			co.srv.m.coalesceRuns.ObserveSize(len(pending))
 			off := 0
 			for _, r := range pending {
 				n := len(r.ops)
@@ -278,9 +286,11 @@ func (co *coalescer) deliver(r *run, res []hyaline.Result) {
 			buf = protocol.AppendNilSeq(buf, r.seqs[i])
 		}
 	}
-	co.srv.served.Add(int64(len(r.ops)))
+	co.srv.m.served.Add(uint64(len(r.ops)))
+	n := len(r.ops)
 	cn := r.cn
 	cn.write(buf)
+	co.srv.m.opLatency.ObserveN(time.Since(r.t0), int64(n))
 	*bp = buf[:0]
 	bufPool.Put(bp)
 	r.release()
@@ -305,9 +315,11 @@ func (co *coalescer) deliverBytes(r *run, bres []hyaline.BytesResult) {
 			buf = protocol.AppendNilSeq(buf, r.seqs[i])
 		}
 	}
-	co.srv.served.Add(int64(len(r.bops)))
+	co.srv.m.served.Add(uint64(len(r.bops)))
+	n := len(r.bops)
 	cn := r.cn
 	cn.write(buf)
+	co.srv.m.opLatency.ObserveN(time.Since(r.t0), int64(n))
 	*bp = buf[:0]
 	bufPool.Put(bp)
 	r.release()

@@ -104,11 +104,11 @@ func newPoller(s *Server, opts Options) (*poller, error) {
 		reg:     make(map[int]*conn),
 	}
 	p.loopDone.Add(1)
-	s.gor.Add(1)
+	s.m.goroutines.Inc()
 	go p.loop()
 	for i := 0; i < workers; i++ {
 		p.workDone.Add(1)
-		s.gor.Add(1)
+		s.m.goroutines.Inc()
 		go p.worker()
 	}
 	return p, nil
@@ -186,7 +186,7 @@ func (p *poller) isStopped() bool {
 // happens only after this loop exits.
 func (p *poller) loop() {
 	defer p.loopDone.Done()
-	defer p.srv.gor.Add(-1)
+	defer p.srv.m.goroutines.Dec()
 	fds := make([]int, 128)
 	for {
 		n, err := p.os.wait(fds)
@@ -202,6 +202,7 @@ func (p *poller) loop() {
 				continue
 			}
 			if cn.pstate.CompareAndSwap(pollIdle, pollQueued) {
+				p.srv.m.pollWakeups.Inc()
 				p.ready <- cn
 			}
 		}
@@ -214,7 +215,7 @@ func (p *poller) loop() {
 // the past fails the next blocking read before any new window starts.
 func (p *poller) worker() {
 	defer p.workDone.Done()
-	defer p.srv.gor.Add(-1)
+	defer p.srv.m.goroutines.Dec()
 	for cn := range p.ready {
 		if p.srv.isDraining() {
 			p.teardown(cn)
@@ -242,6 +243,7 @@ func (p *poller) service(cn *conn) {
 				// Spurious wakeup or a mid-frame trickle: keep whatever
 				// bytes arrived buffered and go back to waiting for
 				// readiness.
+				p.srv.m.pollSpurious.Inc()
 				cn.rd.ClearError()
 				if !p.park(cn) {
 					p.teardown(cn)
@@ -280,7 +282,25 @@ func (p *poller) park(cn *conn) bool {
 	if stopped {
 		return false
 	}
-	return p.os.arm(cn.fd) == nil
+	if p.os.arm(cn.fd) != nil {
+		return false
+	}
+	p.srv.m.pollRearms.Inc()
+	return true
+}
+
+// parked counts registered connections currently sitting idle in the
+// poller — the figure the conns_parked gauge reports.
+func (p *poller) parked() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int64
+	for _, cn := range p.reg {
+		if cn.pstate.Load() == pollIdle {
+			n++
+		}
+	}
+	return n
 }
 
 // teardown retires a polled connection exactly once (the drain sweep

@@ -36,6 +36,7 @@ package server
 import (
 	"context"
 	"errors"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,7 @@ import (
 	"time"
 
 	"hyaline"
+	"hyaline/internal/metrics"
 	"hyaline/internal/protocol"
 )
 
@@ -115,6 +117,11 @@ type Options struct {
 	// MaxConns caps concurrently open connections; an accept beyond the
 	// cap is closed immediately (counted by Rejected). 0 = unlimited.
 	MaxConns int
+	// Metrics is the registry the server publishes its instruments to
+	// (see metrics.go for the families). Nil means a private registry,
+	// still readable via Server.Metrics(). Two servers must not share
+	// one registry — the series names would collide.
+	Metrics *metrics.Registry
 	// Logf, when non-nil, receives connection-level diagnostics (accept
 	// and write errors). Protocol errors are reported to the offending
 	// client, not logged.
@@ -162,12 +169,8 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	draining bool
 
-	wg       sync.WaitGroup // one unit per live connection
-	gor      atomic.Int64   // live server goroutines (handlers + workers)
-	accepted atomic.Int64
-	rejected atomic.Int64
-	served   atomic.Int64 // frames answered (data ops + meta commands)
-	batches  atomic.Int64 // kv.Apply calls issued
+	wg sync.WaitGroup // one unit per live connection
+	m  *srvMetrics    // every server gauge/counter/histogram (metrics.go)
 }
 
 // New builds a server over kv (a *hyaline.KV or *hyaline.ShardedKV).
@@ -176,6 +179,7 @@ type Server struct {
 func New(kv Store, opts Options) *Server {
 	s := newServer(opts)
 	s.kv = kv
+	s.registerStoreMetrics(kv)
 	return s
 }
 
@@ -185,6 +189,7 @@ func New(kv Store, opts Options) *Server {
 func NewBytes(kvb BytesStore, opts Options) *Server {
 	s := newServer(opts)
 	s.kvb = kvb
+	s.registerStoreMetrics(kvb)
 	return s
 }
 
@@ -210,6 +215,7 @@ func newServer(opts Options) *Server {
 		ooo:          opts.OOO,
 		logf:         logf,
 		conns:        map[net.Conn]struct{}{},
+		m:            newSrvMetrics(opts.Metrics),
 	}
 	if opts.Coalesce || opts.OOO {
 		s.co = newCoalescer(s, opts)
@@ -221,6 +227,7 @@ func newServer(opts Options) *Server {
 			s.po = p
 		}
 	}
+	s.registerConnMetrics()
 	return s
 }
 
@@ -274,6 +281,7 @@ func (s *Server) Serve(ln net.Listener) error {
 				} else if backoff *= 2; backoff > time.Second {
 					backoff = time.Second
 				}
+				s.m.acceptRetry.Inc()
 				s.logf("server: accept: %v; retrying in %v", err, backoff)
 				// Shutdown closes the listener, so the sleep only defers
 				// the ErrClosed exit by at most one backoff step.
@@ -283,7 +291,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		backoff = 0
-		s.accepted.Add(1)
+		s.m.accepted.Inc()
 		if !s.track(c) {
 			c.Close() // draining, or over MaxConns
 			continue
@@ -317,9 +325,9 @@ func (s *Server) startConn(c net.Conn) {
 	if s.po != nil && s.po.register(cn) {
 		return // parked; a poll worker serves it when readable
 	}
-	s.gor.Add(1)
+	s.m.goroutines.Inc()
 	go func() {
-		defer s.gor.Add(-1)
+		defer s.m.goroutines.Dec()
 		cn.run()
 	}()
 }
@@ -389,7 +397,8 @@ func (s *Server) Counters() (accepted, active, served, batches int64) {
 	s.mu.Lock()
 	active = int64(len(s.conns))
 	s.mu.Unlock()
-	return s.accepted.Load(), active, s.served.Load(), s.batches.Load()
+	return int64(s.m.accepted.Value()), active,
+		int64(s.m.served.Value()), int64(s.m.batches.Value())
 }
 
 // Goroutines reports how many goroutines the server is currently
@@ -397,10 +406,10 @@ func (s *Server) Counters() (accepted, active, served, batches int64) {
 // connection readers, poll workers and the poller loop, and coalescer
 // shard workers. Under Options.Poll this stays O(PollWorkers) no matter
 // how many idle connections are parked — the gauge figure 27 plots.
-func (s *Server) Goroutines() int64 { return s.gor.Load() }
+func (s *Server) Goroutines() int64 { return s.m.goroutines.Value() }
 
 // Rejected counts accepts refused by Options.MaxConns.
-func (s *Server) Rejected() int64 { return s.rejected.Load() }
+func (s *Server) Rejected() int64 { return int64(s.m.rejected.Value()) }
 
 func (s *Server) isDraining() bool {
 	s.mu.Lock()
@@ -422,7 +431,7 @@ func (s *Server) track(c net.Conn) bool {
 		return false
 	}
 	if s.maxConns > 0 && len(s.conns) >= s.maxConns {
-		s.rejected.Add(1)
+		s.m.rejected.Inc()
 		return false
 	}
 	s.conns[c] = struct{}{}
@@ -442,18 +451,22 @@ func (s *Server) appendStats(b []byte) []byte {
 	snap := s.snapshot()
 	accepted, active, served, _ := s.Counters()
 	return protocol.AppendStatsReply(b, protocol.Stats{
-		Structure:  snap.Structure,
-		Scheme:     snap.Scheme,
-		MaxThreads: uint64(snap.MaxThreads),
-		Shards:     uint64(snap.Shards),
-		Conns:      uint64(active),
-		TotalConns: uint64(accepted),
-		Ops:        uint64(served),
-		Len:        uint64(snap.Len),
-		Live:       uint64(snap.Live),
-		Allocated:  uint64(snap.Stats.Allocated),
-		Retired:    uint64(snap.Stats.Retired),
-		Freed:      uint64(snap.Stats.Freed),
+		Structure:   snap.Structure,
+		Scheme:      snap.Scheme,
+		MaxThreads:  uint64(snap.MaxThreads),
+		Shards:      uint64(snap.Shards),
+		Conns:       uint64(active),
+		TotalConns:  uint64(accepted),
+		Ops:         uint64(served),
+		Len:         uint64(snap.Len),
+		Live:        uint64(snap.Live),
+		Allocated:   uint64(snap.Stats.Allocated),
+		Retired:     uint64(snap.Stats.Retired),
+		Freed:       uint64(snap.Stats.Freed),
+		Scans:       uint64(snap.Stats.Scans),
+		Goroutines:  uint64(s.Goroutines()),
+		Rejected:    s.m.rejected.Value(),
+		ActiveConns: uint64(s.ActiveConns()),
 	})
 }
 
@@ -519,6 +532,15 @@ type conn struct {
 	fd     int
 	pstate atomic.Int32
 
+	// Window latency bookkeeping: wstart is stamped when the window's
+	// first frame is decoded, wops counts the replies produced
+	// synchronously in this window (FIFO data runs and meta commands —
+	// async OOO runs carry wstart with them instead, see takeRun). The
+	// decode→reply-flushed histogram observes wops samples of the
+	// window's elapsed time once its replies are on the wire.
+	wstart time.Time
+	wops   int64
+
 	fatal bool // protocol error: an ERR reply is queued, close after flushing
 }
 
@@ -532,7 +554,7 @@ func newConn(s *Server, c net.Conn) *conn {
 	cn := &conn{
 		srv: s,
 		c:   c,
-		rd:  protocol.NewReader(c),
+		rd:  protocol.NewReader(&countingReader{src: c, n: s.m.bytesIn}),
 		bp:  bp,
 		buf: (*bp)[:0],
 	}
@@ -575,6 +597,7 @@ func (cn *conn) run() {
 // every further frame already buffered is consumed, the pending run is
 // flushed and the window's replies are written.
 func (cn *conn) window(f protocol.Frame) {
+	cn.wstart = time.Now()
 	cn.frame(f)
 	for !cn.fatal {
 		f, ok, err := cn.rd.TryReadFrame()
@@ -589,6 +612,13 @@ func (cn *conn) window(f protocol.Frame) {
 	}
 	cn.flushOps()
 	cn.send()
+	if cn.wops > 0 {
+		// One elapsed-time sample per reply answered in this window:
+		// every op decoded at wstart waited for the whole window's
+		// flush, so the window's elapsed time is each op's latency.
+		cn.srv.m.opLatency.ObserveN(time.Since(cn.wstart), cn.wops)
+		cn.wops = 0
+	}
 }
 
 // teardown retires the connection exactly once: outstanding OOO runs
@@ -624,11 +654,33 @@ func (cn *conn) write(buf []byte) {
 	if wt := cn.srv.writeTimeout; wt > 0 {
 		cn.c.SetWriteDeadline(time.Now().Add(wt))
 	}
-	if _, err := cn.c.Write(buf); err != nil {
+	n, err := cn.c.Write(buf)
+	cn.srv.m.bytesOut.Add(uint64(n))
+	if err != nil {
 		cn.broken = true
 		cn.srv.logf("server: write to %s: %v", cn.c.RemoteAddr(), err)
 		cn.c.Close()
 	}
+}
+
+// served counts frames answered synchronously on this connection: the
+// server-wide ops counter plus the window's latency weight.
+func (cn *conn) served(n int64) {
+	cn.srv.m.served.Add(uint64(n))
+	cn.wops += n
+}
+
+// countingReader counts request bytes as the protocol Reader pulls
+// them off the socket.
+type countingReader struct {
+	src io.Reader
+	n   *metrics.Counter
+}
+
+func (r *countingReader) Read(p []byte) (int, error) {
+	n, err := r.src.Read(p)
+	r.n.Add(uint64(n))
+	return n, err
 }
 
 // frame handles one decoded request frame. Data commands accumulate into
@@ -682,22 +734,22 @@ func (cn *conn) frame(f protocol.Frame) {
 			cn.tokens = make(chan struct{}, oooWindow)
 		}
 		cn.buf = protocol.AppendHelloReply(cn.buf, accepted)
-		cn.srv.served.Add(1)
+		cn.served(1)
 		cn.metaFlush()
 	case protocol.OpPing:
 		cn.metaBarrier()
 		cn.buf = protocol.AppendPingReply(cn.buf, f.Payload)
-		cn.srv.served.Add(1)
+		cn.served(1)
 		cn.metaFlush()
 	case protocol.OpLen:
 		cn.metaBarrier()
 		cn.buf = protocol.AppendValue(cn.buf, uint64(cn.srv.kvLen()))
-		cn.srv.served.Add(1)
+		cn.served(1)
 		cn.metaFlush()
 	case protocol.OpStats:
 		cn.metaBarrier()
 		cn.buf = cn.srv.appendStats(cn.buf)
-		cn.srv.served.Add(1)
+		cn.served(1)
 		cn.metaFlush()
 	}
 }
@@ -768,10 +820,12 @@ func (cn *conn) flushOps() {
 		cn.srv.co.apply(cn)
 	case len(cn.ops) > 0:
 		cn.res = cn.srv.kv.ApplyInto(cn.res[:0], cn.ops)
-		cn.srv.batches.Add(1)
+		cn.srv.m.batches.Inc()
+		cn.srv.m.batchOps.ObserveSize(len(cn.ops))
 	default:
 		cn.bres, cn.vbuf = cn.srv.kvb.ApplyBytesInto(cn.bres[:0], cn.vbuf[:0], cn.bops)
-		cn.srv.batches.Add(1)
+		cn.srv.m.batches.Inc()
+		cn.srv.m.batchOps.ObserveSize(len(cn.bops))
 	}
 	cn.encodeReplies()
 }
@@ -786,6 +840,7 @@ func (cn *conn) takeRun() *run {
 	r := runPool.Get().(*run)
 	r.cn = cn
 	r.sync = false
+	r.t0 = cn.wstart
 	r.seqs = append(r.seqs[:0], cn.seqs...)
 	if len(cn.ops) > 0 {
 		r.ops = append(r.ops[:0], cn.ops...)
@@ -845,7 +900,7 @@ func (cn *conn) oooBarrier() {
 // negotiated FlagSeq, then resets the run.
 func (cn *conn) encodeReplies() {
 	if len(cn.ops) > 0 {
-		cn.srv.served.Add(int64(len(cn.ops)))
+		cn.served(int64(len(cn.ops)))
 		for i, op := range cn.ops {
 			r := cn.res[i]
 			switch {
@@ -872,7 +927,7 @@ func (cn *conn) encodeReplies() {
 		cn.ops = cn.ops[:0]
 	}
 	if len(cn.bops) > 0 {
-		cn.srv.served.Add(int64(len(cn.bops)))
+		cn.served(int64(len(cn.bops)))
 		for i, op := range cn.bops {
 			r := cn.bres[i]
 			switch {

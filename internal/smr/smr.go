@@ -88,6 +88,7 @@ type Stats struct {
 	Allocated int64 // nodes handed out by Alloc
 	Retired   int64 // nodes passed to Retire
 	Freed     int64 // nodes returned to the arena
+	Scans     int64 // reclamation passes over the limbo/retire lists
 }
 
 // Unreclaimed returns the number of retired-but-not-yet-freed nodes, the
@@ -116,7 +117,8 @@ type counterShard struct {
 	allocated atomic.Int64
 	retired   atomic.Int64
 	freed     atomic.Int64
-	_         [5]uint64 // pad to 64 B
+	scans     atomic.Int64
+	_         [4]uint64 // pad to 64 B
 }
 
 // NewCounters creates counters for maxThreads threads.
@@ -143,6 +145,9 @@ func (c *Counters) Dealloc(tid int) {
 // Free records n nodes freed by tid.
 func (c *Counters) Free(tid int, n int64) { c.shards[tid].freed.Add(n) }
 
+// Scan records one reclamation pass by tid.
+func (c *Counters) Scan(tid int) { c.shards[tid].scans.Add(1) }
+
 // Sum folds the shards into a Stats snapshot.
 func (c *Counters) Sum() Stats {
 	var s Stats
@@ -150,6 +155,7 @@ func (c *Counters) Sum() Stats {
 		s.Allocated += c.shards[i].allocated.Load()
 		s.Retired += c.shards[i].retired.Load()
 		s.Freed += c.shards[i].freed.Load()
+		s.Scans += c.shards[i].scans.Load()
 	}
 	return s
 }

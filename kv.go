@@ -189,6 +189,10 @@ func (kv *KV) Len() int { return kv.m.Len() }
 // Stats returns the reclamation counters accumulated since creation.
 func (kv *KV) Stats() Stats { return kv.tr.Stats() }
 
+// ShardStats returns the per-shard reclamation counters — one element
+// for the unsharded KV, matching the ShardedKV method shape.
+func (kv *KV) ShardStats() []Stats { return []Stats{kv.tr.Stats()} }
+
 // Snapshot is a point-in-time summary of a KV — the fields a serving or
 // monitoring layer reports. The network server's STATS frame encodes
 // exactly this plus its own connection gauges.

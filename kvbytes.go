@@ -129,6 +129,10 @@ func (kv *KVBytes) Len() int { return kv.m.Len() }
 // Stats returns the reclamation counters accumulated since creation.
 func (kv *KVBytes) Stats() Stats { return kv.tr.Stats() }
 
+// ShardStats returns the per-shard reclamation counters — one element
+// for the unsharded KVBytes, matching the ShardedKVBytes method shape.
+func (kv *KVBytes) ShardStats() []Stats { return []Stats{kv.tr.Stats()} }
+
 // Snapshot collects the KV's current summary (see KV.Snapshot).
 func (kv *KVBytes) Snapshot() Snapshot {
 	return Snapshot{

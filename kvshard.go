@@ -379,8 +379,19 @@ func (sk *ShardedKV) Stats() Stats {
 		t.Allocated += st.Allocated
 		t.Retired += st.Retired
 		t.Freed += st.Freed
+		t.Scans += st.Scans
 	}
 	return t
+}
+
+// ShardStats returns each shard's reclamation counters, index-aligned
+// with the hash shards.
+func (sk *ShardedKV) ShardStats() []Stats {
+	out := make([]Stats, len(sk.shards))
+	for i, s := range sk.shards {
+		out[i] = s.Stats()
+	}
+	return out
 }
 
 // Live sums the arena nodes currently allocated across all shards.

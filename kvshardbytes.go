@@ -266,8 +266,19 @@ func (sk *ShardedKVBytes) Stats() Stats {
 		t.Allocated += st.Allocated
 		t.Retired += st.Retired
 		t.Freed += st.Freed
+		t.Scans += st.Scans
 	}
 	return t
+}
+
+// ShardStats returns each shard's reclamation counters, index-aligned
+// with the hash shards.
+func (sk *ShardedKVBytes) ShardStats() []Stats {
+	out := make([]Stats, len(sk.shards))
+	for i, s := range sk.shards {
+		out[i] = s.Stats()
+	}
+	return out
 }
 
 // Live sums the arena nodes currently allocated across all shards.
